@@ -1,0 +1,37 @@
+"""Figure 4: metadata-access and neighborhood-size microbenchmarks.
+
+Raw one-sided READ streams against one MN NIC:
+
+* 4a — insert read patterns: a dedicated vacancy-bitmap READ costs up to
+  1.8x throughput vs piggybacking; reading the entire leaf costs more;
+* 4b — a dedicated leaf-metadata READ vs replica-carrying reads;
+* 4c — neighborhood size: 1-entry reads are IOPS-bound, so an 8-entry
+  neighborhood costs only ~1.3-2x (not 8x) — the headroom speculative
+  reads can reclaim.
+"""
+
+from conftest import run_once
+
+from repro.bench import current_scale
+from repro.bench.experiments import fig4_micro
+
+
+def test_fig4_micro(benchmark, record_table):
+    rows = run_once(benchmark, fig4_micro, current_scale())
+    record_table("fig4_micro", rows, ["panel", "case", "mops"],
+                 "Figure 4: metadata access / neighborhood microbenchmarks")
+    benchmark.extra_info["rows"] = rows
+    by_case = {(row["panel"], row["case"]): row["mops"] for row in rows}
+    # 4a: extra access hurts; whole-node reads hurt more.
+    assert by_case[("4a", "ideal-hop-range")] > \
+        by_case[("4a", "vacancy-extra-access")]
+    assert by_case[("4a", "ideal-hop-range")] > \
+        by_case[("4a", "entire-leaf")] * 2
+    # 4b: the dedicated metadata access costs throughput.
+    assert by_case[("4b", "replicated-metadata")] > \
+        by_case[("4b", "dedicated-metadata-access")]
+    # 4c: small reads are IOPS-bound — H=1 is faster than H=8 but far
+    # less than 8x faster.
+    h1, h8 = by_case[("4c", "H=1")], by_case[("4c", "H=8")]
+    assert h1 > h8
+    assert h1 < 4 * h8

@@ -1,0 +1,29 @@
+"""Figure 13: variable-length KV items (indirect values).
+
+CHIME-Indirect vs Marlin vs ROLEX-Indirect vs SMART-RCU.  CHIME-Indirect
+leads most workloads; SMART-RCU wins scans (values live in the leaf
+block it already reads, saving the indirection RTT the others pay).
+"""
+
+from conftest import run_once
+
+from repro.bench import current_scale
+from repro.bench.experiments import fig13_variable_kv
+from repro.bench.report import group_rows
+
+
+def test_fig13_variable_kv(benchmark, record_table):
+    rows = run_once(benchmark, fig13_variable_kv, current_scale(),
+                    workloads=("A", "C", "D", "E"))
+    record_table("fig13_variable_kv", rows,
+                 ["workload", "index", "throughput_mops", "p50_us",
+                  "p99_us"],
+                 "Figure 13: variable-length KV items (32 B indirect values)")
+    benchmark.extra_info["rows"] = rows
+    by_workload = group_rows(rows, "workload")
+    for workload in ("A", "C"):
+        peaks = {r["index"]: r["throughput_mops"]
+                 for r in by_workload[workload]}
+        assert peaks["chime-indirect"] > peaks["marlin"], workload
+        assert peaks["chime-indirect"] > peaks["rolex-indirect"], workload
+        assert peaks["chime-indirect"] > peaks["smart-rcu"], workload

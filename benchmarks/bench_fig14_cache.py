@@ -1,0 +1,33 @@
+"""Figure 14: computing-side cache consumption vs dataset size.
+
+KV-contiguous indexes (CHIME, Sherman, ROLEX) stay compact and grow
+linearly; SMART needs roughly an address per item — 8.7x more than CHIME
+(incl. its hotspot buffer) at the paper's 60 M keys.
+"""
+
+from conftest import run_once
+
+from repro.bench import current_scale
+from repro.bench.experiments import fig14_cache_consumption
+
+
+def test_fig14_cache_consumption(benchmark, record_table):
+    rows = run_once(benchmark, fig14_cache_consumption, current_scale())
+    record_table("fig14_cache", rows,
+                 ["index", "num_keys", "cache_bytes", "hotspot_bytes",
+                  "total_bytes"],
+                 "Figure 14: cache consumption vs loaded items")
+    benchmark.extra_info["rows"] = rows
+    scale = current_scale()
+    at_scale = {row["index"]: row for row in rows
+                if row["num_keys"] == scale.num_keys}
+    # SMART far above every KV-contiguous index.
+    for name in ("chime", "sherman", "rolex"):
+        assert at_scale["smart"]["cache_bytes"] > \
+            3 * at_scale[name]["cache_bytes"], name
+    # Consumption grows with the dataset for every index.
+    for name in ("chime", "sherman", "rolex", "smart"):
+        series = sorted((row["num_keys"], row["cache_bytes"])
+                        for row in rows if row["index"] == name)
+        sizes = [bytes_ for _keys, bytes_ in series]
+        assert sizes == sorted(sizes), name

@@ -1,0 +1,25 @@
+"""Figure 16: sibling-based validation vs replicated fence keys.
+
+Replicating fence keys costs 2 x key_size bytes per metadata replica;
+sibling-based validation keeps replicas at 10 bytes regardless of key
+size — an up to ~8.6x metadata saving at 256-byte keys.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig16_sibling_validation
+
+
+def test_fig16_sibling_validation(benchmark, record_table):
+    rows = run_once(benchmark, fig16_sibling_validation)
+    record_table("fig16_sibling", rows,
+                 ["key_size", "fence_replica_bytes",
+                  "sibling_replica_bytes", "metadata_saving_ratio"],
+                 "Figure 16: metadata size, fence keys vs sibling validation")
+    benchmark.extra_info["rows"] = rows
+    by_key = {row["key_size"]: row for row in rows}
+    assert by_key[8]["metadata_saving_ratio"] >= 1.4
+    assert by_key[256]["metadata_saving_ratio"] >= 6.0
+    ratios = [by_key[k]["metadata_saving_ratio"]
+              for k in sorted(by_key)]
+    assert ratios == sorted(ratios)  # grows with key size

@@ -1,0 +1,27 @@
+"""Figure 17: speculative reads under NIC saturation.
+
+Below saturation the hotspot buffer barely matters; once the MN NIC is
+bandwidth-bound, fetching one hot entry instead of a neighborhood buys
+up to ~1.2x peak throughput on YCSB C.
+"""
+
+from conftest import run_once
+
+from repro.bench import current_scale
+from repro.bench.experiments import fig17_speculative
+
+
+def test_fig17_speculative(benchmark, record_table):
+    rows = run_once(benchmark, fig17_speculative, current_scale())
+    record_table("fig17_specread", rows,
+                 ["speculative_read", "clients", "throughput_mops",
+                  "p50_us", "p99_us"],
+                 "Figure 17: speculative reads (YCSB C, client sweep)")
+    benchmark.extra_info["rows"] = rows
+    peak = {True: 0.0, False: 0.0}
+    for row in rows:
+        flag = row["speculative_read"]
+        peak[flag] = max(peak[flag], row["throughput_mops"])
+    # At saturation the speculative read must win (paper: up to 1.2x).
+    assert peak[True] > peak[False]
+    assert peak[True] < 2.0 * peak[False]  # bounded gain, per §3.2.3

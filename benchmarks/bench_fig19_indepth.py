@@ -1,0 +1,57 @@
+"""Figure 19: in-depth analyses — span vs cache/load-factor, neighborhood
+vs load factor, hotspot buffer size vs hit ratio and throughput."""
+
+from conftest import run_once
+
+from repro.bench import current_scale
+from repro.bench.experiments import (
+    fig19a_span_metrics,
+    fig19b_neighborhood_load_factor,
+    fig19c_hotspot_buffer,
+)
+
+
+def test_fig19a_span_metrics(benchmark, record_table):
+    rows = run_once(benchmark, fig19a_span_metrics, current_scale())
+    record_table("fig19a_span_metrics", rows,
+                 ["span", "cache_bytes", "max_load_factor"],
+                 "Figure 19a: span size vs cache consumption + load factor")
+    benchmark.extra_info["rows"] = rows
+    spans = sorted(row["span"] for row in rows)
+    by_span = {row["span"]: row for row in rows}
+    # Larger spans -> smaller internal structure to cache...
+    assert by_span[spans[0]]["cache_bytes"] > \
+        by_span[spans[-1]]["cache_bytes"]
+    # ...but lower achievable load factor (fixed H=8 over more entries).
+    assert by_span[spans[0]]["max_load_factor"] >= \
+        by_span[spans[-1]]["max_load_factor"] - 0.02
+
+
+def test_fig19b_neighborhood_load_factor(benchmark, record_table):
+    rows = run_once(benchmark, fig19b_neighborhood_load_factor)
+    record_table("fig19b_neighborhood_lf", rows,
+                 ["neighborhood", "span", "max_load_factor"],
+                 "Figure 19b: neighborhood size vs max load factor")
+    benchmark.extra_info["rows"] = rows
+    by_h = {row["neighborhood"]: row["max_load_factor"] for row in rows}
+    # Paper: 37.7% at H=2 growing to 99.8% at H=16 (span-64 leaves).
+    assert by_h[2] < 0.7
+    assert by_h[8] > 0.8
+    assert by_h[16] > 0.95
+    assert by_h[2] < by_h[4] < by_h[8] < by_h[16]
+
+
+def test_fig19c_hotspot_buffer(benchmark, record_table):
+    rows = run_once(benchmark, fig19c_hotspot_buffer, current_scale())
+    record_table("fig19c_hotspot", rows,
+                 ["hotspot_bytes", "throughput_mops", "hit_ratio",
+                  "correct_ratio"],
+                 "Figure 19c: hotspot buffer size (YCSB C)")
+    benchmark.extra_info["rows"] = rows
+    series = sorted((row["hotspot_bytes"], row) for row in rows)
+    zero = series[0][1]
+    largest = series[-1][1]
+    assert zero["hit_ratio"] == 0.0
+    assert largest["hit_ratio"] > 0.3
+    # Fingerprints keep speculation accuracy near 100% (paper: ~100%).
+    assert largest["correct_ratio"] > 0.9

@@ -1,0 +1,29 @@
+"""Table 1: round trips per CHIME operation.
+
+Best case (internal nodes cached): search 1-2, insert 3, update 3-4,
+scan 1.  Worst case (nothing cached): h more for the remote traversal.
+"""
+
+from conftest import run_once
+
+from repro.bench import current_scale
+from repro.bench.experiments import table1_rtts
+
+
+def test_table1_rtts(benchmark, record_table):
+    rows = run_once(benchmark, table1_rtts, current_scale())
+    record_table("table1_rtts", rows,
+                 ["case", "op", "tree_height", "measured_rtts",
+                  "paper_formula"],
+                 "Table 1: round trips per operation (CHIME)")
+    benchmark.extra_info["rows"] = rows
+    measured = {(row["case"], row["op"]): row["measured_rtts"]
+                for row in rows}
+    height = rows[0]["tree_height"]
+    assert 1 <= measured[("best", "search")] <= 2
+    assert 3 <= measured[("best", "insert")] <= 4
+    assert 3 <= measured[("best", "update")] <= 4
+    assert measured[("best", "scan")] <= 2
+    assert measured[("worst", "search")] <= height + 2
+    assert measured[("worst", "insert")] <= height + 4
+    assert measured[("worst", "search")] > measured[("best", "search")]

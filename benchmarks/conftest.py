@@ -1,0 +1,41 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Each benchmark runs its experiment exactly once (``pedantic`` with one
+round — the experiment itself is a full simulated cluster run), prints
+the figure's data table, and writes it under ``benchmarks/results/`` so
+EXPERIMENTS.md can reference committed numbers.
+
+Scale selection: set ``REPRO_SCALE`` to ``quick`` / ``default`` / ``full``
+(benchmarks default to ``quick`` so the whole suite completes in
+minutes; EXPERIMENTS.md notes the preset used).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+os.environ.setdefault("REPRO_SCALE", "quick")
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Returns a function that prints + persists one experiment table."""
+    from repro.bench.report import format_table
+
+    def record(name, rows, columns=None, title=""):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = format_table(rows, columns, title or name)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+        return rows
+
+    return record
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Execute *func* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

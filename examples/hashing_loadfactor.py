@@ -1,0 +1,27 @@
+"""Why hopscotch hashing? The space-efficiency/amplification trade-off.
+
+Reproduces Figure 3d's measurement: the maximum load factor each hashing
+scheme achieves on 128-entry tables, against the number of entries a
+point lookup must fetch.
+
+Run:  python examples/hashing_loadfactor.py
+"""
+
+from repro.bench import print_table
+from repro.hashing import figure_3d_schemes
+
+
+def main() -> None:
+    rows = [{
+        "scheme": result.scheme,
+        "entries_fetched_per_lookup": result.amplification_factor,
+        "max_load_factor": f"{result.max_load_factor:.1%}",
+    } for result in figure_3d_schemes(capacity=128)]
+    rows.sort(key=lambda r: r["entries_fetched_per_lookup"])
+    print_table(rows, title="Hashing schemes on DM (128-entry tables)")
+    print("\nHopscotch reaches ~90% occupancy while fetching only 8 "
+          "entries\nper lookup — why CHIME builds its leaf nodes on it.")
+
+
+if __name__ == "__main__":
+    main()

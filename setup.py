@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Metadata lives in pyproject.toml; this shim enables legacy editable
+# installs ("pip install -e . --no-use-pep517") on toolchains without wheel.
+setup()

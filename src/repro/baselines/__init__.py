@@ -1,0 +1,35 @@
+"""Baseline DM range indexes the paper compares CHIME against."""
+
+from repro.baselines.marlin import MarlinClient, MarlinIndex
+from repro.baselines.pla import PlaModel, PlaSegment
+from repro.baselines.rolex import RolexClient, RolexConfig, RolexIndex
+from repro.baselines.sherman import (
+    ShermanClient,
+    ShermanConfig,
+    ShermanIndex,
+    ShermanLeafLayout,
+    ShermanLeafView,
+)
+from repro.baselines.smart import (
+    SmartClient,
+    SmartConfig,
+    SmartIndex,
+)
+
+__all__ = [
+    "MarlinClient",
+    "MarlinIndex",
+    "PlaModel",
+    "PlaSegment",
+    "RolexClient",
+    "RolexConfig",
+    "RolexIndex",
+    "ShermanClient",
+    "ShermanConfig",
+    "ShermanIndex",
+    "ShermanLeafLayout",
+    "ShermanLeafView",
+    "SmartClient",
+    "SmartConfig",
+    "SmartIndex",
+]

@@ -1,0 +1,111 @@
+"""Piecewise linear approximation (PLA) models for the ROLEX baseline.
+
+Greedy "shrinking cone" segmentation: scan the sorted keys, keeping the
+feasible slope interval that keeps every covered key's predicted position
+within ``epsilon`` of its true position; start a new segment when the
+cone empties.  This is the standard construction used by learned indexes
+(FITing-tree / PGM style) and guarantees ``|predict(k) - pos(k)| <=
+epsilon`` for every trained key.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import IndexError_
+
+#: Cached bytes per segment: start key (8) + slope (8) + intercept (8).
+SEGMENT_BYTES = 24
+
+
+@dataclass(frozen=True)
+class PlaSegment:
+    """One linear segment: position ~= slope * (key - start_key) + base."""
+
+    start_key: int
+    slope: float
+    base: float
+
+    def predict(self, key: int) -> float:
+        return self.slope * (key - self.start_key) + self.base
+
+
+class PlaModel:
+    """A trained PLA model over a sorted key array."""
+
+    def __init__(self, segments: List[PlaSegment], num_keys: int,
+                 epsilon: int) -> None:
+        if not segments:
+            raise IndexError_("PLA model needs at least one segment")
+        self.segments = segments
+        self.num_keys = num_keys
+        self.epsilon = epsilon
+        self._starts = [s.start_key for s in segments]
+
+    @classmethod
+    def train(cls, keys: Sequence[int], epsilon: int) -> "PlaModel":
+        """Greedy shrinking-cone training over sorted unique *keys*."""
+        if epsilon < 1:
+            raise IndexError_(f"epsilon must be >= 1, got {epsilon}")
+        if not keys:
+            return cls([PlaSegment(0, 0.0, 0.0)], 0, epsilon)
+        segments: List[PlaSegment] = []
+        index = 0
+        n = len(keys)
+        while index < n:
+            origin_key = keys[index]
+            origin_pos = index
+            slope_low, slope_high = 0.0, float("inf")
+            cursor = index + 1
+            while cursor < n:
+                dx = keys[cursor] - origin_key
+                dy = cursor - origin_pos
+                low = (dy - epsilon) / dx
+                high = (dy + epsilon) / dx
+                new_low = max(slope_low, low)
+                new_high = min(slope_high, high)
+                if new_low > new_high:
+                    break
+                slope_low, slope_high = new_low, new_high
+                cursor += 1
+            if cursor == index + 1:
+                slope = 0.0
+            elif slope_high == float("inf"):
+                slope = slope_low
+            else:
+                slope = (slope_low + slope_high) / 2.0
+            segments.append(PlaSegment(origin_key, slope, float(origin_pos)))
+            index = cursor
+        return cls(segments, n, epsilon)
+
+    def segment_for(self, key: int) -> PlaSegment:
+        index = bisect.bisect_right(self._starts, key) - 1
+        return self.segments[max(index, 0)]
+
+    def predict(self, key: int) -> int:
+        """Predicted position, clamped to [0, num_keys - 1]."""
+        if self.num_keys == 0:
+            return 0
+        raw = self.segment_for(key).predict(key)
+        return max(0, min(self.num_keys - 1, int(round(raw))))
+
+    def position_range(self, key: int) -> range:
+        """The +-epsilon candidate position window for *key*."""
+        center = self.predict(key)
+        lo = max(0, center - self.epsilon)
+        hi = min(max(self.num_keys - 1, 0), center + self.epsilon)
+        return range(lo, hi + 1)
+
+    @property
+    def cache_bytes(self) -> int:
+        return len(self.segments) * SEGMENT_BYTES
+
+    def verify(self, keys: Sequence[int]) -> None:
+        """Assert the epsilon guarantee over the training keys (tests)."""
+        for position, key in enumerate(keys):
+            if abs(self.predict(key) - position) > self.epsilon:
+                raise IndexError_(
+                    f"PLA error bound violated at key {key}: predicted "
+                    f"{self.predict(key)}, actual {position}")

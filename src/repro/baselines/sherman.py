@@ -1,0 +1,605 @@
+"""Sherman (SIGMOD '22): the state-of-the-art B+ tree on DM.
+
+Re-implemented from its paper's description, with the enhancement the
+CHIME authors apply for fairness (§5.1): the original bookend versioning
+is replaced by **two-level cache-line versions** (the same scheme CHIME
+uses, shared via :mod:`repro.layout.versions`).
+
+Structure: a B-link tree whose leaves are *sorted arrays* of KV entries.
+Reads fetch the **entire leaf node** — the defining read amplification of
+KV-contiguous indexes that CHIME attacks.  Updates are fine-grained
+(entry write + EV bump, combined with the unlocking WRITE); inserts shift
+the sorted array and therefore rewrite the node (a node write with NV
+bump).  Sherman's CN-local lock table is modelled through
+:class:`~repro.cluster.compute.ComputeNode.local_lock`, shared by every
+index here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.compute import ClientContext
+from repro.core.btree_base import (
+    BTreeClientBase,
+    BTreeIndexBase,
+    LeafRef,
+    MAX_CHASE,
+    TraversalError,
+)
+from repro.core.sync import MAX_RETRIES, backoff_delay
+from repro.errors import IndexError_, TornReadError
+from repro.layout import (
+    MAX_KEY,
+    StripedSpan,
+    decode_key,
+    decode_u16,
+    decode_u64,
+    decode_value,
+    encode_key,
+    encode_u16,
+    encode_u64,
+    encode_value,
+    pack_version,
+    unpack_version,
+)
+from repro.layout.versions import bump_nibble, raw_size
+from repro.memory import NULL_ADDR
+from repro.memory.region import CACHE_LINE
+
+
+@dataclass(frozen=True)
+class ShermanConfig:
+    """Sherman parameters (paper default: span 64, 8 B keys/values)."""
+
+    span: int = 64
+    key_size: int = 8
+    value_size: int = 8
+    #: Store an 8-byte pointer per entry with the value in an indirect
+    #: block (the Marlin baseline layers on this).
+    indirect_values: bool = False
+    #: Target leaf fill fraction for bulk loading.
+    bulk_load_factor: float = 0.7
+
+
+class ShermanLeafLayout:
+    """Sorted-array leaf: header + entries, striped with versions.
+
+    Header: ``[version:1][valid:1][count:2][fence_low:k][fence_high:k]
+    [sibling:8]``; entry: ``[version:1][key:k][value:v]``.
+    """
+
+    def __init__(self, span: int, key_size: int, value_size: int) -> None:
+        self.span = span
+        self.key_size = key_size
+        self.value_size = value_size
+
+    @property
+    def header_size(self) -> int:
+        return 1 + 1 + 2 + 2 * self.key_size + 8
+
+    @property
+    def entry_size(self) -> int:
+        return 1 + self.key_size + self.value_size
+
+    @property
+    def logical_size(self) -> int:
+        return self.header_size + self.span * self.entry_size
+
+    @property
+    def raw_size(self) -> int:
+        return raw_size(self.logical_size)
+
+    @property
+    def total_size(self) -> int:
+        padded = -(-self.raw_size // CACHE_LINE) * CACHE_LINE
+        return padded + CACHE_LINE
+
+    @property
+    def lock_offset(self) -> int:
+        return self.total_size - CACHE_LINE
+
+    def entry_offset(self, index: int) -> int:
+        return self.header_size + index * self.entry_size
+
+    OFF_VERSION = 0
+    OFF_VALID = 1
+    OFF_COUNT = 2
+
+    @property
+    def off_fence_low(self) -> int:
+        return 4
+
+    @property
+    def off_fence_high(self) -> int:
+        return 4 + self.key_size
+
+    @property
+    def off_sibling(self) -> int:
+        return 4 + 2 * self.key_size
+
+
+class ShermanLeafView:
+    """Accessor over a Sherman leaf image."""
+
+    def __init__(self, layout: ShermanLeafLayout, span: StripedSpan) -> None:
+        self.layout = layout
+        self.span = span
+
+    @classmethod
+    def compose(cls, layout: ShermanLeafLayout,
+                items: Sequence[Tuple[int, int]], sibling: int,
+                fence_low: int, fence_high: int, nv: int) -> "ShermanLeafView":
+        view = cls(layout, StripedSpan.blank(layout.logical_size))
+        sp = view.span
+        sp.set_all_versions(nv, 0)
+        byte = pack_version(nv, 0)
+        sp.write_logical(layout.OFF_VERSION, bytes([byte]))
+        sp.write_logical(layout.OFF_VALID, b"\x01")
+        sp.write_logical(layout.OFF_COUNT, encode_u16(len(items)))
+        sp.write_logical(layout.off_fence_low, encode_key(fence_low))
+        sp.write_logical(layout.off_fence_high, encode_key(fence_high))
+        sp.write_logical(layout.off_sibling, encode_u64(sibling))
+        for index in range(layout.span):
+            off = layout.entry_offset(index)
+            sp.write_logical(off, bytes([byte]))
+            if index < len(items):
+                key, value = items[index]
+                sp.write_logical(off + 1, encode_key(key))
+                sp.write_logical(off + 1 + layout.key_size,
+                                 encode_value(value, layout.value_size))
+        return view
+
+    # -- field access ---------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return decode_u16(self.span.read_logical(self.layout.OFF_COUNT, 2))
+
+    @property
+    def fence_low(self) -> int:
+        return decode_key(self.span.read_logical(self.layout.off_fence_low,
+                                                 self.layout.key_size))
+
+    @property
+    def fence_high(self) -> int:
+        return decode_key(self.span.read_logical(self.layout.off_fence_high,
+                                                 self.layout.key_size))
+
+    @property
+    def sibling(self) -> int:
+        return decode_u64(self.span.read_logical(self.layout.off_sibling, 8))
+
+    @property
+    def nv(self) -> int:
+        byte = self.span.read_logical(self.layout.OFF_VERSION, 1)[0]
+        return unpack_version(byte)[0]
+
+    def entry(self, index: int) -> Tuple[int, int]:
+        off = self.layout.entry_offset(index)
+        data = self.span.read_logical(off + 1,
+                                      self.layout.key_size
+                                      + self.layout.value_size)
+        return (decode_key(data),
+                decode_value(data, self.layout.key_size,
+                             size=self.layout.value_size))
+
+    def items(self) -> List[Tuple[int, int]]:
+        return [self.entry(i) for i in range(self.count)]
+
+    def write_entry_value(self, index: int, key: int, value: int) -> None:
+        """Fine-grained entry update: payload + EV bump in lockstep."""
+        layout = self.layout
+        off = layout.entry_offset(index)
+        byte = self.span.read_logical(off, 1)[0]
+        nv, ev = unpack_version(byte)
+        self.span.write_logical(off, bytes([pack_version(nv,
+                                                         bump_nibble(ev))]))
+        self.span.bump_entry_versions(off, layout.entry_size)
+        self.span.write_logical(off + 1, encode_key(key))
+        self.span.write_logical(off + 1 + layout.key_size,
+                                encode_value(value, layout.value_size))
+
+    def entry_sub_span(self, index: int) -> Tuple[int, bytes]:
+        return self.span.sub_span(self.layout.entry_offset(index),
+                                  self.layout.entry_size)
+
+    def find(self, key: int) -> Optional[int]:
+        """Binary search the sorted entries; returns the index or None."""
+        lo, hi = 0, self.count - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            mid_key, _ = self.entry(mid)
+            if mid_key == key:
+                return mid
+            if mid_key < key:
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return None
+
+    def nv_values(self) -> List[int]:
+        values = list(self.span.nv_nibbles())
+        header = self.span.read_logical(self.layout.OFF_VERSION, 1)[0]
+        values.append(unpack_version(header)[0])
+        for index in range(self.layout.span):
+            byte = self.span.read_logical(self.layout.entry_offset(index),
+                                          1)[0]
+            values.append(unpack_version(byte)[0])
+        return values
+
+    def is_consistent(self) -> bool:
+        return len(set(self.nv_values())) <= 1
+
+
+class ShermanIndex(BTreeIndexBase):
+    """Host-side state of a Sherman tree."""
+
+    def __init__(self, cluster: Cluster,
+                 config: Optional[ShermanConfig] = None) -> None:
+        self.config = config or ShermanConfig()
+        super().__init__(cluster, self.config.span, self.config.key_size)
+        entry_value = 8 if self.config.indirect_values \
+            else self.config.value_size
+        self.leaf_layout = ShermanLeafLayout(self.config.span,
+                                             self.config.key_size,
+                                             entry_value)
+        self.loaded_items = 0
+
+    def client(self, ctx: ClientContext) -> "ShermanClient":
+        return ShermanClient(self, ctx)
+
+    # -- bulk load ----------------------------------------------------------------
+
+    def bulk_load(self, pairs: Sequence[Tuple[int, int]]) -> None:
+        config = self.config
+        layout = self.leaf_layout
+        pairs = list(pairs)
+        for (a, _), (b, _) in zip(pairs, pairs[1:]):
+            if a >= b:
+                raise IndexError_("bulk_load requires sorted unique keys")
+        if pairs and pairs[0][0] < 1:
+            raise IndexError_("keys must be >= 1")
+        per_leaf = max(1, int(config.span * config.bulk_load_factor))
+        chunks = [pairs[i:i + per_leaf]
+                  for i in range(0, len(pairs), per_leaf)] or [[]]
+        addrs = [self._host_alloc(layout.total_size) for _ in chunks]
+        bounds = [0] + [c[0][0] for c in chunks[1:]] + [MAX_KEY]
+        level1 = []
+        for index, chunk in enumerate(chunks):
+            stored = []
+            for key, value in chunk:
+                if config.indirect_values:
+                    stored.append((key, self._host_alloc_block(key, value)))
+                else:
+                    stored.append((key, value))
+            sibling = addrs[index + 1] if index + 1 < len(addrs) else NULL_ADDR
+            view = ShermanLeafView.compose(layout, stored, sibling,
+                                           bounds[index], bounds[index + 1],
+                                           nv=0)
+            self._host_write(addrs[index], bytes(view.span.data))
+            level1.append((bounds[index], addrs[index]))
+        self.loaded_items = len(pairs)
+        self._build_internal_levels(level1)
+
+    def _host_alloc_block(self, key: int, value: int) -> int:
+        size = 8 + self.config.value_size
+        addr = self._host_alloc(size)
+        self._host_write(addr, encode_key(key)
+                         + encode_value(value, self.config.value_size))
+        return addr
+
+    def _build_internal_levels(self, entries: List[Tuple[int, int]]) -> None:
+        from repro.core.nodes import InternalNodeView
+        layout = self.internal_layout
+        level = 1
+        while True:
+            groups = [entries[i:i + layout.span]
+                      for i in range(0, len(entries), layout.span)]
+            addrs = [self._host_alloc(layout.total_size) for _ in groups]
+            bounds = [0] + [g[0][0] for g in groups[1:]] + [MAX_KEY]
+            next_entries = []
+            for index, group in enumerate(groups):
+                sibling = addrs[index + 1] if index + 1 < len(addrs) \
+                    else NULL_ADDR
+                view = InternalNodeView.compose(
+                    layout, level, bounds[index], bounds[index + 1],
+                    sibling, group, nv=0)
+                self._host_write(addrs[index], bytes(view.span.data))
+                next_entries.append((bounds[index], addrs[index]))
+            if len(groups) == 1:
+                self._set_root(addrs[0], level)
+                return
+            entries = next_entries
+            level += 1
+
+    # -- host-side inspection --------------------------------------------------------
+
+    def collect_items(self) -> List[Tuple[int, int]]:
+        layout = self.leaf_layout
+        out: List[Tuple[int, int]] = []
+        for addr in self.leaf_addrs():
+            raw = self._host_read(addr, layout.raw_size)
+            view = ShermanLeafView(layout, StripedSpan(raw, 0))
+            for key, value in view.items():
+                if self.config.indirect_values:
+                    data = self._host_read(value, 8 + self.config.value_size)
+                    value = decode_value(data, 8,
+                                         size=self.config.value_size)
+                out.append((key, value))
+        out.sort()
+        return out
+
+    def remote_memory_bytes(self) -> int:
+        return sum(mn.allocator.bytes_used for mn in self.cluster.mns.values())
+
+
+class ShermanClient(BTreeClientBase):
+    """Per-client Sherman operations."""
+
+    def __init__(self, index: ShermanIndex, ctx: ClientContext) -> None:
+        super().__init__(index, ctx)
+        self.sherman = index
+        self.config = index.config
+        self.layout = index.leaf_layout
+
+    # -------------------------------------------------------------- public API
+
+    def search(self, key: int) -> Generator:
+        if self.ctx.combiner.enabled:
+            result = yield from self.ctx.combiner.read(
+                ("sherman-s", id(self.sherman), key), lambda: self._search(key))
+            return result
+        result = yield from self._search(key)
+        return result
+
+    def insert(self, key: int, value: int) -> Generator:
+        if key < 1:
+            raise IndexError_("keys must be >= 1")
+        result = yield from self._insert(key, value)
+        return result
+
+    def update(self, key: int, value: int) -> Generator:
+        if self.ctx.combiner.enabled:
+            result = yield from self.ctx.combiner.write(
+                ("sherman-u", id(self.sherman), key), value,
+                lambda v: self._update(key, v))
+            return result
+        result = yield from self._update(key, value)
+        return result
+
+    def delete(self, key: int) -> Generator:
+        """Clear by rewriting the leaf without the key (no merges)."""
+        result = yield from self._delete(key)
+        return result
+
+    def scan(self, key: int, count: int) -> Generator:
+        result = yield from self._scan(key, count)
+        return result
+
+    # -------------------------------------------------------------- leaf IO
+
+    def _read_leaf(self, addr: int) -> Generator:
+        layout = self.layout
+        for attempt in range(MAX_RETRIES):
+            raw = yield from self.qp.read(addr, layout.raw_size)
+            view = ShermanLeafView(layout, StripedSpan(raw, 0))
+            if view.is_consistent():
+                return view
+            self.qp.stats.retries += 1
+            yield self.engine.timeout(backoff_delay(attempt))
+        raise TornReadError(f"leaf {addr:#x} never consistent")
+
+    def _leaf_for(self, ref: LeafRef, key: int) -> Generator:
+        """Fetch the leaf, applying cache and half-split validation."""
+        leaf_addr = ref.leaf_addr
+        from_cache = ref.from_cache
+        for _hop in range(MAX_CHASE):
+            view = yield from self._read_leaf(leaf_addr)
+            if view.fence_low <= key < view.fence_high:
+                return leaf_addr, view
+            if key < view.fence_low:
+                if from_cache and ref.parent is not None:
+                    self.ctx.cache.invalidate(ref.parent.addr)
+                return None, None  # stale route: retraverse
+            if view.sibling == NULL_ADDR:
+                return leaf_addr, view
+            if from_cache and ref.parent is not None:
+                self.ctx.cache.invalidate(ref.parent.addr)
+            leaf_addr = view.sibling
+            from_cache = False
+        raise TraversalError("leaf sibling chase exceeded bound")
+
+    # -------------------------------------------------------------- search
+
+    def _search(self, key: int) -> Generator:
+        for attempt in range(MAX_RETRIES):
+            ref = yield from self._locate_leaf(key)
+            leaf_addr, view = yield from self._leaf_for(ref, key)
+            if view is None:
+                continue
+            index = view.find(key)
+            if index is None:
+                return None
+            _k, value = view.entry(index)
+            if self.config.indirect_values:
+                value = yield from self._read_block(value, key)
+            return value
+        raise TraversalError(f"search({key}) did not converge")
+
+    def _read_block(self, block_addr: int, key: int) -> Generator:
+        data = yield from self.qp.read(block_addr, 8 + self.config.value_size)
+        if decode_key(data) != key:
+            raise TornReadError("indirect block key mismatch")
+        return decode_value(data, 8, size=self.config.value_size)
+
+    # -------------------------------------------------------------- update / delete
+
+    def _update(self, key: int, value: int) -> Generator:
+        for attempt in range(MAX_RETRIES):
+            ref = yield from self._locate_leaf(key)
+            lock_addr = ref.leaf_addr + self.layout.lock_offset
+            yield from self._lock(lock_addr, zero_rest=False)
+            try:
+                leaf_addr, view = yield from self._leaf_for(ref, key)
+                if view is None or leaf_addr != ref.leaf_addr:
+                    # Routed elsewhere while locking this node: release
+                    # and retry from the top (rare).
+                    yield from self.qp.write(lock_addr, encode_u64(0))
+                    continue
+                index = view.find(key)
+                if index is None:
+                    yield from self.qp.write(lock_addr, encode_u64(0))
+                    return False
+                stored = value
+                if self.config.indirect_values:
+                    stored = yield from self._write_block(key, value)
+                view.write_entry_value(index, key, stored)
+                raw_off, raw_bytes = view.entry_sub_span(index)
+                yield from self.qp.write_batch([
+                    (leaf_addr + raw_off, raw_bytes),
+                    (lock_addr, encode_u64(0)),
+                ])
+                return True
+            finally:
+                self._release_local(lock_addr)
+        raise TraversalError(f"update({key}) did not converge")
+
+    def _write_block(self, key: int, value: int) -> Generator:
+        addr = yield from self._alloc(8 + self.config.value_size)
+        yield from self.qp.write(addr, encode_key(key)
+                                 + encode_value(value,
+                                                self.config.value_size))
+        return addr
+
+    def _delete(self, key: int) -> Generator:
+        result = yield from self._modify_sorted(key, None)
+        return result
+
+    # -------------------------------------------------------------- insert
+
+    def _insert(self, key: int, value: int) -> Generator:
+        result = yield from self._modify_sorted(key, value)
+        return result
+
+    def _modify_sorted(self, key: int, value: Optional[int]) -> Generator:
+        """Insert (value given) or delete (value None) in the sorted leaf;
+        both rewrite the node under its lock."""
+        layout = self.layout
+        for attempt in range(MAX_RETRIES):
+            ref = yield from self._locate_leaf(key)
+            lock_addr = ref.leaf_addr + layout.lock_offset
+            yield from self._lock(lock_addr, zero_rest=False)
+            released = False
+            try:
+                leaf_addr, view = yield from self._leaf_for(ref, key)
+                if view is None or leaf_addr != ref.leaf_addr:
+                    yield from self.qp.write(lock_addr, encode_u64(0))
+                    released = True
+                    continue
+                items = view.items()
+                index = view.find(key)
+                if value is None:
+                    if index is None:
+                        yield from self.qp.write(lock_addr, encode_u64(0))
+                        released = True
+                        return False
+                    items.pop(index)
+                else:
+                    stored = value
+                    if self.config.indirect_values:
+                        stored = yield from self._write_block(key, value)
+                    if index is not None:
+                        items[index] = (key, stored)
+                    else:
+                        items.append((key, stored))
+                        items.sort()
+                if len(items) > layout.span:
+                    yield from self._split_sherman_leaf(ref, leaf_addr,
+                                                        lock_addr, view,
+                                                        items)
+                    released = True
+                    continue  # retry the insert after the split
+                new_view = ShermanLeafView.compose(
+                    layout, items, view.sibling, view.fence_low,
+                    view.fence_high, nv=bump_nibble(view.nv))
+                yield from self.qp.write_batch([
+                    (leaf_addr, bytes(new_view.span.data)),
+                    (lock_addr, encode_u64(0)),
+                ])
+                released = True
+                return True
+            except BaseException:
+                if not released:
+                    yield from self.qp.write(lock_addr, encode_u64(0))
+                raise
+            finally:
+                self._release_local(lock_addr)
+        raise TraversalError(f"modify({key}) did not converge")
+
+    def _split_sherman_leaf(self, ref: LeafRef, leaf_addr: int,
+                            lock_addr: int, view: ShermanLeafView,
+                            items: List[Tuple[int, int]]) -> Generator:
+        layout = self.layout
+        mid = len(items) // 2
+        pivot = items[mid][0]
+        left_items = items[:mid]
+        right_items = items[mid:]
+        new_addr = yield from self._alloc(layout.total_size)
+        right_view = ShermanLeafView.compose(
+            layout, right_items, view.sibling, pivot, view.fence_high, nv=0)
+        yield from self.qp.write_batch([
+            (new_addr, bytes(right_view.span.data)),
+            (new_addr + layout.lock_offset, encode_u64(0)),
+        ])
+        left_view = ShermanLeafView.compose(
+            layout, left_items, new_addr, view.fence_low, pivot,
+            nv=bump_nibble(view.nv))
+        yield from self.qp.write_batch([
+            (leaf_addr, bytes(left_view.span.data)),
+            (lock_addr, encode_u64(0)),
+        ])
+        parent_hint = ref.parent if ref.parent is not None else None
+        yield from self._propagate_split(parent_hint, 1, leaf_addr, pivot,
+                                         new_addr)
+
+    # -------------------------------------------------------------- scan
+
+    def _scan(self, key: int, count: int) -> Generator:
+        layout = self.layout
+        ref = yield from self._locate_leaf(key)
+        candidates = [ref.leaf_addr]
+        if ref.parent is not None:
+            candidates.extend(
+                ref.parent.children[ref.parent_index + 1:ref.parent.count])
+        per_leaf = max(1, int(layout.span * 0.5))
+        needed = min(len(candidates), count // per_leaf + 2)
+        requests = [(addr, layout.raw_size) for addr in candidates[:needed]]
+        payloads = yield from self.qp.read_batch(requests)
+        results: List[Tuple[int, int]] = []
+        last_view = None
+        for addr, data in zip(candidates[:needed], payloads):
+            view = ShermanLeafView(layout, StripedSpan(data, 0))
+            if not view.is_consistent():
+                view = yield from self._read_leaf(addr)
+            last_view = view
+            results.extend((k, v) for k, v in view.items() if k >= key)
+        results.sort()
+        next_addr = last_view.sibling if last_view is not None else NULL_ADDR
+        guard = 0
+        while len(results) < count and next_addr != NULL_ADDR and guard < 1024:
+            guard += 1
+            view = yield from self._read_leaf(next_addr)
+            results.extend((k, v) for k, v in view.items() if k >= key)
+            results.sort()
+            next_addr = view.sibling
+        results = results[:count]
+        if self.config.indirect_values:
+            resolved = []
+            for item_key, block in results:
+                value = yield from self._read_block(block, item_key)
+                resolved.append((item_key, value))
+            return resolved
+        return results

@@ -1,0 +1,24 @@
+"""Benchmark harness: scaling presets, runner, metrics, experiments."""
+
+from repro.bench.metrics import RunResult, percentile
+from repro.bench.report import format_table, group_rows, print_table, ratio
+from repro.bench.runner import build_index, run_point, run_workload
+from repro.bench.scale import DEFAULT, FULL, PRESETS, QUICK, Scale, current_scale
+
+__all__ = [
+    "DEFAULT",
+    "FULL",
+    "PRESETS",
+    "QUICK",
+    "RunResult",
+    "Scale",
+    "build_index",
+    "current_scale",
+    "format_table",
+    "group_rows",
+    "percentile",
+    "print_table",
+    "ratio",
+    "run_point",
+    "run_workload",
+]

@@ -1,0 +1,83 @@
+"""Measurement containers for workload runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.rdma.ops import TrafficStats
+
+
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile over pre-sorted values (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, int(fraction * len(sorted_values)) - 1))
+    return sorted_values[index]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one workload run on one index configuration."""
+
+    index_name: str
+    workload: str
+    num_clients: int
+    ops_completed: int
+    elapsed_seconds: float
+    latencies_us: List[float] = field(repr=False, default_factory=list)
+    traffic: TrafficStats = field(default_factory=TrafficStats)
+    cache_bytes_used: int = 0
+    cache_hit_ratio: float = 0.0
+    notes: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput_mops(self) -> float:
+        """Throughput in million operations per simulated second."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.ops_completed / self.elapsed_seconds / 1e6
+
+    @property
+    def p50_us(self) -> float:
+        return percentile(sorted(self.latencies_us), 0.50)
+
+    @property
+    def p99_us(self) -> float:
+        return percentile(sorted(self.latencies_us), 0.99)
+
+    @property
+    def avg_us(self) -> float:
+        if not self.latencies_us:
+            return 0.0
+        return sum(self.latencies_us) / len(self.latencies_us)
+
+    @property
+    def rtts_per_op(self) -> float:
+        if not self.ops_completed:
+            return 0.0
+        return self.traffic.rtts / self.ops_completed
+
+    @property
+    def read_bytes_per_op(self) -> float:
+        if not self.ops_completed:
+            return 0.0
+        return self.traffic.bytes_read / self.ops_completed
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict for table printing / benchmark extra_info."""
+        return {
+            "index": self.index_name,
+            "workload": self.workload,
+            "clients": self.num_clients,
+            "ops": self.ops_completed,
+            "throughput_mops": round(self.throughput_mops, 4),
+            "p50_us": round(self.p50_us, 2),
+            "p99_us": round(self.p99_us, 2),
+            "rtts_per_op": round(self.rtts_per_op, 2),
+            "read_bytes_per_op": round(self.read_bytes_per_op, 1),
+            "retries": self.traffic.retries,
+            "cache_bytes": self.cache_bytes_used,
+            **self.notes,
+        }

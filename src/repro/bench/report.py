@@ -1,0 +1,63 @@
+"""Plain-text reporting of experiment results (the "figures")."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(rows: Sequence[Dict], columns: Optional[List[str]] = None,
+                 title: str = "") -> str:
+    """Render rows of dicts as an aligned text table."""
+    if not rows:
+        return f"{title}\n  (no rows)" if title else "  (no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {col: len(str(col)) for col in columns}
+    rendered = []
+    for row in rows:
+        cells = {}
+        for col in columns:
+            value = row.get(col, "")
+            if isinstance(value, float):
+                text = f"{value:.3f}"
+            else:
+                text = str(value)
+            cells[col] = text
+            widths[col] = max(widths[col], len(text))
+        rendered.append(cells)
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(col).ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("  ".join("-" * widths[col] for col in columns))
+    for cells in rendered:
+        lines.append("  ".join(cells[col].ljust(widths[col])
+                               for col in columns))
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[Dict], columns: Optional[List[str]] = None,
+                title: str = "") -> None:
+    print(format_table(rows, columns, title))
+
+
+def group_rows(rows: Iterable[Dict], key: str) -> Dict[str, List[Dict]]:
+    """Bucket rows by one column (for per-workload / per-index series)."""
+    grouped: Dict[str, List[Dict]] = {}
+    for row in rows:
+        grouped.setdefault(str(row.get(key)), []).append(row)
+    return grouped
+
+
+def ratio(rows: Sequence[Dict], metric: str, index_a: str,
+          index_b: str) -> float:
+    """metric(index_a) / metric(index_b) over matching rows (avg)."""
+    by_index = group_rows(rows, "index")
+    a_rows = by_index.get(index_a, [])
+    b_rows = by_index.get(index_b, [])
+    if not a_rows or not b_rows:
+        return 0.0
+    a = sum(float(r[metric]) for r in a_rows) / len(a_rows)
+    b = sum(float(r[metric]) for r in b_rows) / len(b_rows)
+    return a / b if b else 0.0

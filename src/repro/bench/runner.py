@@ -1,0 +1,189 @@
+"""The workload runner: closed-loop clients driving an index on a cluster.
+
+One call to :func:`run_workload` corresponds to one data point of a paper
+figure: it spawns a client coroutine per :class:`ClientContext`, drains
+one deterministic :class:`~repro.workloads.ycsb.OpStream` each, and
+collects throughput / latency / traffic into a
+:class:`~repro.bench.metrics.RunResult`.
+
+:func:`build_index` is the factory the experiments use; names match the
+paper's legend entries ("chime", "sherman", "rolex", "smart",
+"smart-opt", "marlin", "chime-indirect", "rolex-indirect", "smart-rcu").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines import (
+    MarlinIndex,
+    RolexConfig,
+    RolexIndex,
+    ShermanConfig,
+    ShermanIndex,
+    SmartConfig,
+    SmartIndex,
+)
+from repro.bench.metrics import RunResult
+from repro.cluster.cluster import Cluster
+from repro.config import ChimeConfig, ClusterConfig
+from repro.core import ChimeIndex
+from repro.errors import WorkloadError
+from repro.workloads.ycsb import (
+    INSERT,
+    READ_MODIFY_WRITE,
+    SCAN,
+    SEARCH,
+    UPDATE,
+    WORKLOADS,
+    WorkloadContext,
+    dataset,
+)
+
+#: Index names that store leaf items discretely (no bulk-ordered leaves).
+KV_DISCRETE = {"smart", "smart-opt", "smart-rcu"}
+
+
+def build_index(name: str, cluster: Cluster,
+                value_size: int = 8,
+                span: Optional[int] = None,
+                neighborhood: Optional[int] = None,
+                chime_overrides: Optional[dict] = None):
+    """Instantiate an index by its paper legend name."""
+    if name in ("chime", "chime-indirect"):
+        kwargs = dict(value_size=value_size,
+                      indirect_values=name.endswith("indirect"))
+        if span is not None:
+            kwargs["span"] = span
+        if neighborhood is not None:
+            kwargs["neighborhood"] = neighborhood
+        if chime_overrides:
+            kwargs.update(chime_overrides)
+        return ChimeIndex(cluster, ChimeConfig(**kwargs))
+    if name == "sherman":
+        return ShermanIndex(cluster, ShermanConfig(
+            span=span or 64, value_size=value_size))
+    if name == "marlin":
+        return MarlinIndex(cluster, ShermanConfig(
+            span=span or 64, value_size=value_size, indirect_values=True))
+    if name in ("smart", "smart-opt"):
+        return SmartIndex(cluster, SmartConfig(value_size=value_size))
+    if name == "smart-rcu":
+        return SmartIndex(cluster, SmartConfig(value_size=value_size,
+                                               rcu_updates=True))
+    if name in ("rolex", "rolex-indirect"):
+        return RolexIndex(cluster, RolexConfig(
+            span=span or 16, error=span or 16, value_size=value_size,
+            indirect_values=name.endswith("indirect")))
+    if name == "chime-learned":
+        from repro.core.learned import LearnedChimeIndex
+        return LearnedChimeIndex(cluster, span=span or 64,
+                                 neighborhood=neighborhood or 8,
+                                 value_size=value_size)
+    raise WorkloadError(f"unknown index name {name!r}")
+
+
+def load_index(index, pairs, workload_name: str,
+               context: WorkloadContext) -> None:
+    """Bulk load, pre-training model-routed indexes (ROLEX and
+    CHIME-Learned) on future insert keys (§5.1 fn. 3)."""
+    from repro.core.learned import LearnedChimeIndex
+    if isinstance(index, (RolexIndex, LearnedChimeIndex)):
+        spec = WORKLOADS[workload_name]
+        expected_inserts = 0
+        if spec.insert_fraction:
+            expected_inserts = context.expected_insert_budget
+        index.bulk_load(pairs,
+                        future_keys=context.insert_keys_upto(expected_inserts))
+    else:
+        index.bulk_load(pairs)
+
+
+def run_workload(cluster: Cluster, index, workload_name: str,
+                 ops_per_client: int, context: WorkloadContext,
+                 warmup_fraction: float = 0.1,
+                 max_sim_seconds: Optional[float] = None) -> RunResult:
+    """Drive every cluster client through its op stream; returns metrics."""
+    clients = list(cluster.clients())
+    index_clients = [index.client(ctx) for ctx in clients]
+    latencies: list = []
+    completed = [0]
+    warmup = int(ops_per_client * warmup_fraction)
+    traffic_before = cluster.traffic_totals()
+    start_time = cluster.engine.now
+
+    def client_loop(client, stream):
+        engine = cluster.engine
+        for op_index, op in enumerate(stream):
+            begin = engine.now
+            if op.kind == SEARCH:
+                yield from client.search(op.key)
+            elif op.kind == UPDATE:
+                yield from client.update(op.key, op.value)
+            elif op.kind == INSERT:
+                yield from client.insert(op.key, op.value)
+                context.commit_insert(op.key)
+            elif op.kind == SCAN:
+                yield from client.scan(op.key, op.scan_count)
+            elif op.kind == READ_MODIFY_WRITE:
+                current = yield from client.search(op.key)
+                if current is not None:
+                    yield from client.update(op.key, op.value)
+            else:
+                raise WorkloadError(f"unknown op kind {op.kind}")
+            completed[0] += 1
+            if op_index >= warmup:
+                latencies.append((engine.now - begin) * 1e6)
+
+    for client_index, client in enumerate(index_clients):
+        stream = context.stream(client_index, ops_per_client)
+        cluster.engine.process(client_loop(client, iter(stream)))
+    cluster.run(until=None if max_sim_seconds is None
+                else start_time + max_sim_seconds)
+    elapsed = cluster.engine.now - start_time
+    traffic = cluster.traffic_totals().delta(traffic_before)
+    hit_ratio = (sum(cn.cache.hits for cn in cluster.cns)
+                 / max(1, sum(cn.cache.hits + cn.cache.misses
+                              for cn in cluster.cns)))
+    return RunResult(
+        index_name=getattr(index, "name", type(index).__name__),
+        workload=workload_name,
+        num_clients=len(clients),
+        ops_completed=completed[0],
+        elapsed_seconds=elapsed,
+        latencies_us=latencies,
+        traffic=traffic,
+        cache_bytes_used=cluster.cache_bytes_used(),
+        cache_hit_ratio=hit_ratio,
+    )
+
+
+def run_point(index_name: str, workload_name: str, num_keys: int,
+              ops_per_client: int, cluster_config: ClusterConfig,
+              value_size: int = 8, span: Optional[int] = None,
+              neighborhood: Optional[int] = None,
+              theta: float = 0.99,
+              chime_overrides: Optional[dict] = None,
+              key_space: int = 0,
+              unlimited_cache_for: Sequence[str] = ("smart-opt",),
+              ) -> RunResult:
+    """Build cluster + index + workload and run one measurement point."""
+    if index_name in unlimited_cache_for:
+        cluster_config = cluster_config.scaled(cache_bytes=None)
+    cluster = Cluster(cluster_config)
+    index = build_index(index_name, cluster, value_size=value_size,
+                        span=span, neighborhood=neighborhood,
+                        chime_overrides=chime_overrides)
+    pairs = dataset(num_keys, key_space=key_space,
+                    seed=cluster_config.seed)
+    spec = WORKLOADS[workload_name]
+    context = WorkloadContext(spec, [k for k, _ in pairs],
+                              seed=cluster_config.seed, theta=theta)
+    total_inserts = (int(spec.insert_fraction * ops_per_client
+                         * cluster_config.total_clients) + 64)
+    context.expected_insert_budget = total_inserts
+    load_index(index, pairs, workload_name, context)
+    result = run_workload(cluster, index, workload_name, ops_per_client,
+                          context)
+    result.index_name = index_name
+    return result

@@ -1,0 +1,116 @@
+"""Experiment scaling presets.
+
+The paper's testbed is 60 M keys, 640 clients, and one 100 Gbps NIC; a
+Python discrete-event simulation cannot run that point count per figure,
+so experiments scale *all* quantities together, preserving the regimes
+the figures depend on:
+
+* the NIC's bandwidth and IOPS are divided by ``nic_scale`` (latency is
+  kept real), so saturation occurs at ``640 / nic_scale`` clients;
+* byte budgets (CN cache, hotspot buffer) scale with the dataset size,
+  keeping cache pressure comparable (paper: 100 MB + 30 MB at 60 M keys);
+* keys are sampled sparsely from a large key space, as YCSB's hashed
+  keys are.
+
+Select a preset with the ``REPRO_SCALE`` environment variable
+(``quick`` / ``default`` / ``full``).  EXPERIMENTS.md records which
+preset produced the committed numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config import (
+    ClusterConfig,
+    PAPER_CACHE_BYTES,
+    PAPER_DATASET_SIZE,
+    PAPER_HOTSPOT_BYTES,
+)
+from repro.rdma.nic import NicSpec
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One scaling preset."""
+
+    name: str
+    num_keys: int
+    ops_per_client: int
+    #: Client counts for throughput-latency sweeps.
+    client_sweep: List[int]
+    #: Single operating point used by non-sweep experiments.
+    clients: int
+    #: Divide the paper NIC's bandwidth and IOPS by this.
+    nic_scale: float
+    num_mns: int = 1
+    #: 1 = dense keys (YCSB's sequential record ids); > 1 samples keys
+    #: sparsely from a key space this many times larger.
+    key_space_factor: int = 1
+    seed: int = 42
+
+    @property
+    def key_space(self) -> int:
+        if self.key_space_factor <= 1:
+            return 0  # dense dataset
+        return self.num_keys * self.key_space_factor
+
+    @property
+    def cache_bytes(self) -> int:
+        scaled = int(PAPER_CACHE_BYTES * self.num_keys / PAPER_DATASET_SIZE)
+        return max(scaled, 16 * 1024)
+
+    @property
+    def hotspot_bytes(self) -> int:
+        scaled = int(PAPER_HOTSPOT_BYTES * self.num_keys / PAPER_DATASET_SIZE)
+        return max(scaled, 4 * 1024)
+
+    def nic_spec(self) -> NicSpec:
+        return NicSpec(bandwidth=12.5e9 / self.nic_scale,
+                       iops=120e6 / self.nic_scale,
+                       latency=1.5e-6)
+
+    def cluster_config(self, clients: Optional[int] = None,
+                       cache_bytes: Optional[int] = -1,
+                       num_mns: Optional[int] = None,
+                       num_cns: int = 2,
+                       seed: Optional[int] = None) -> ClusterConfig:
+        """A cluster config for one run (``cache_bytes=-1`` = preset)."""
+        total_clients = clients if clients is not None else self.clients
+        per_cn = max(1, total_clients // num_cns)
+        budget = self.cache_bytes if cache_bytes == -1 else cache_bytes
+        return ClusterConfig(
+            num_cns=num_cns,
+            num_mns=num_mns if num_mns is not None else self.num_mns,
+            clients_per_cn=per_cn,
+            cache_bytes=budget,
+            region_bytes=1 << 27,
+            mn_nic=self.nic_spec(),
+            seed=seed if seed is not None else self.seed,
+        )
+
+    def chime_overrides(self) -> dict:
+        return {"hotspot_bytes": self.hotspot_bytes}
+
+
+QUICK = Scale(name="quick", num_keys=10_000, ops_per_client=120,
+              client_sweep=[4, 16, 40], clients=24, nic_scale=32.0)
+
+DEFAULT = Scale(name="default", num_keys=40_000, ops_per_client=250,
+                client_sweep=[4, 12, 24, 40, 56], clients=40,
+                nic_scale=16.0)
+
+FULL = Scale(name="full", num_keys=200_000, ops_per_client=400,
+             client_sweep=[8, 16, 32, 64, 96], clients=64, nic_scale=10.0)
+
+PRESETS = {"quick": QUICK, "default": DEFAULT, "full": FULL}
+
+
+def current_scale() -> Scale:
+    """The preset selected by ``REPRO_SCALE`` (default: ``default``)."""
+    name = os.environ.get("REPRO_SCALE", "default").lower()
+    if name not in PRESETS:
+        raise KeyError(f"REPRO_SCALE must be one of {sorted(PRESETS)}")
+    return PRESETS[name]

@@ -1,0 +1,108 @@
+"""Command-line interface: regenerate any paper figure from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig3d
+    python -m repro run fig12 --scale quick
+    python -m repro run table1 --out results.txt
+    python -m repro run all --scale quick
+
+Figure names map to the experiment functions of
+:mod:`repro.bench.experiments`; ``--scale`` picks a preset from
+:mod:`repro.bench.scale`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.bench import PRESETS, Scale
+from repro.bench.report import format_table
+from repro.bench import experiments as exp
+
+#: Figure name -> (experiment callable, wants_scale).
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig3a": (exp.fig3a_tradeoff, True),
+    "fig3b": (exp.fig3b_limited_bandwidth, True),
+    "fig3c": (exp.fig3c_limited_cache, True),
+    "fig3d": (exp.fig3d_hashing, False),
+    "fig4": (exp.fig4_micro, True),
+    "table1": (exp.table1_rtts, True),
+    "fig12": (exp.fig12_ycsb, True),
+    "fig13": (exp.fig13_variable_kv, True),
+    "fig14": (exp.fig14_cache_consumption, True),
+    "fig15": (exp.fig15_factor_analysis, True),
+    "fig15b": (exp.fig15b_learned_branch, True),
+    "fig16": (exp.fig16_sibling_validation, False),
+    "fig17": (exp.fig17_speculative, True),
+    "fig18a": (exp.fig18a_skewness, True),
+    "fig18b": (exp.fig18b_cache_size, True),
+    "fig18c": (exp.fig18c_inline_value_size, True),
+    "fig18d": (exp.fig18d_indirect_value_size, True),
+    "fig18e": (exp.fig18e_span_size, True),
+    "fig18f": (exp.fig18f_neighborhood_size, True),
+    "fig19a": (exp.fig19a_span_metrics, True),
+    "fig19b": (exp.fig19b_neighborhood_load_factor, False),
+    "fig19c": (exp.fig19c_hotspot_buffer, True),
+    "ablation-cxl": (exp.ablation_cxl_atomics, True),
+    "ablation-rdwc": (exp.ablation_rdwc, True),
+    "ablation-locks": (exp.ablation_local_lock_table, True),
+    "ablation-torn": (exp.ablation_torn_writes, True),
+    "ablation-write-amp": (exp.ablation_write_amplification, True),
+}
+
+
+def run_experiment(name: str, scale: Scale) -> List[dict]:
+    func, wants_scale = EXPERIMENTS[name]
+    return func(scale) if wants_scale else func()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate CHIME (SOSP '24) evaluation figures on "
+                    "the simulated DM cluster.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available figures")
+    run_parser = sub.add_parser("run", help="run one figure (or 'all')")
+    run_parser.add_argument("figure", help="figure name or 'all'")
+    run_parser.add_argument("--scale", default="quick",
+                            choices=sorted(PRESETS),
+                            help="scaling preset (default: quick)")
+    run_parser.add_argument("--out", default=None,
+                            help="also append tables to this file")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        try:
+            for name in EXPERIMENTS:
+                print(name)
+        except BrokenPipeError:  # e.g. `python -m repro list | head`
+            pass
+        return 0
+
+    names = list(EXPERIMENTS) if args.figure == "all" else [args.figure]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}; "
+              f"try 'python -m repro list'", file=sys.stderr)
+        return 2
+    scale = PRESETS[args.scale]
+    for name in names:
+        started = time.time()
+        rows = run_experiment(name, scale)
+        table = format_table(rows, title=f"{name} (scale={scale.name})")
+        print(table)
+        print(f"[{name}: {time.time() - started:.1f}s]\n")
+        if args.out:
+            with open(args.out, "a") as sink:
+                sink.write(table + "\n\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""The computing pool: compute nodes, caches, RDWC, cluster assembly."""
+
+from repro.cluster.cache import IndexCache
+from repro.cluster.cluster import Cluster
+from repro.cluster.compute import ClientContext, ComputeNode
+from repro.cluster.rdwc import RdwcCombiner
+
+__all__ = [
+    "ClientContext",
+    "Cluster",
+    "ComputeNode",
+    "IndexCache",
+    "RdwcCombiner",
+]

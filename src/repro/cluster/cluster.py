@@ -1,0 +1,57 @@
+"""Cluster assembly: wire memory nodes, compute nodes, and the engine."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.cluster.compute import ClientContext, ComputeNode
+from repro.config import ClusterConfig
+from repro.memory.node import MemoryNode
+from repro.rdma.ops import TrafficStats
+from repro.sim.engine import Engine
+
+
+class Cluster:
+    """A simulated disaggregated-memory cluster.
+
+    Construction is cheap; all cost is simulated.  One cluster hosts one
+    experiment: indexes bulk-load into its memory pool and clients run on
+    its compute pool.
+    """
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.engine = Engine()
+        self.mns: Dict[int, MemoryNode] = {
+            mn_id: MemoryNode(self.engine, mn_id, config.region_bytes,
+                              nic_spec=config.mn_nic)
+            for mn_id in range(config.num_mns)
+        }
+        self.cns: List[ComputeNode] = [
+            ComputeNode(self.engine, cn_id, config, self.mns)
+            for cn_id in range(config.num_cns)
+        ]
+
+    def clients(self) -> Iterator[ClientContext]:
+        """All client contexts, grouped by CN."""
+        for cn in self.cns:
+            yield from cn.clients
+
+    @property
+    def total_clients(self) -> int:
+        return sum(len(cn.clients) for cn in self.cns)
+
+    def traffic_totals(self) -> TrafficStats:
+        """Aggregate verb counters across every client."""
+        total = TrafficStats()
+        for client in self.clients():
+            total.merge(client.qp.stats)
+        return total
+
+    def cache_bytes_used(self) -> int:
+        """Bytes of index cache in use across all CNs."""
+        return sum(cn.cache.bytes_used for cn in self.cns)
+
+    def run(self, until=None) -> float:
+        """Drive the simulation (delegates to the engine)."""
+        return self.engine.run(until=until)

@@ -1,0 +1,112 @@
+"""Read-delegation and write-combining (RDWC), from SMART (OSDI '23).
+
+RDWC coalesces concurrent operations on the *same key* issued by clients
+of the *same compute node*:
+
+* **read delegation** — one client becomes the delegate and performs the
+  remote search; followers arriving while it is in flight simply wait for
+  its result.
+* **write combining** — concurrent updates to one key are merged: the
+  last-arriving value wins and a single remote write is performed.
+
+The paper applies RDWC to every index "for fairness" (§5.1); it is why
+throughput *rises* with Zipfian skew in Figure 18a.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator
+
+from repro.sim.engine import Engine, Event
+
+
+class _InFlight:
+    __slots__ = ("event", "followers")
+
+    def __init__(self, event: Event) -> None:
+        self.event = event
+        self.followers = 0
+
+
+class _PendingWrite:
+    __slots__ = ("event", "value", "followers")
+
+    def __init__(self, event: Event, value: Any) -> None:
+        self.event = event
+        self.value = value
+        self.followers = 0
+
+
+class RdwcCombiner:
+    """Per-CN operation combiner."""
+
+    def __init__(self, engine: Engine, enabled: bool = True) -> None:
+        self.engine = engine
+        self.enabled = enabled
+        self._reads: Dict[Any, _InFlight] = {}
+        self._writes: Dict[Any, _PendingWrite] = {}
+        self.delegated_reads = 0
+        self.combined_writes = 0
+
+    # -- read delegation -----------------------------------------------------
+
+    def read(self, key: Any, remote_read: Callable[[], Generator]) -> Generator:
+        """Run *remote_read* unless an identical read is already in flight.
+
+        *remote_read* must be a zero-argument callable returning the
+        generator that performs the remote operation and returns a value.
+        Exceptions from the delegate propagate to all followers.
+        """
+        if not self.enabled:
+            result = yield from remote_read()
+            return result
+        in_flight = self._reads.get(key)
+        if in_flight is not None:
+            in_flight.followers += 1
+            self.delegated_reads += 1
+            result = yield in_flight.event
+            return result
+        record = _InFlight(self.engine.event())
+        self._reads[key] = record
+        try:
+            result = yield from remote_read()
+        except Exception as exc:
+            del self._reads[key]
+            record.event.fail(exc)
+            raise
+        del self._reads[key]
+        record.event.succeed(result)
+        return result
+
+    # -- write combining ------------------------------------------------------
+
+    def write(self, key: Any, value: Any,
+              remote_write: Callable[[Any], Generator]) -> Generator:
+        """Perform (or piggyback on) an update of *key* to *value*.
+
+        The first arrival becomes the leader and writes; later arrivals
+        overwrite the pending value (last write wins) and wait for the
+        leader.  The leader re-reads the pending value right before the
+        remote write, so combined values are actually applied.
+        """
+        if not self.enabled:
+            result = yield from remote_write(value)
+            return result
+        pending = self._writes.get(key)
+        if pending is not None:
+            pending.value = value
+            pending.followers += 1
+            self.combined_writes += 1
+            result = yield pending.event
+            return result
+        record = _PendingWrite(self.engine.event(), value)
+        self._writes[key] = record
+        try:
+            result = yield from remote_write(record.value)
+        except Exception as exc:
+            del self._writes[key]
+            record.event.fail(exc)
+            raise
+        del self._writes[key]
+        record.event.succeed(result)
+        return result

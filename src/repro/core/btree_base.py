@@ -1,0 +1,410 @@
+"""Shared B-link-tree machinery for DM indexes.
+
+CHIME keeps the internal-node structure of a B+ tree (paper §3.2) and its
+node-split / up-propagation protocol follows Sherman's (§4.2.2, §4.4), so
+this module hosts everything above the leaf level:
+
+* internal-node reads with optimistic version checks and sibling chasing,
+* the per-CN internal-node cache and cached traversal,
+* remote lock acquisition (masked-CAS) backed by the CN-local lock table,
+* node splits of internal nodes and split-key up-propagation,
+* root growth via a remote CAS on the global root pointer,
+* host-side (off-data-path) helpers for bulk loading.
+
+Leaf formats and leaf operations are index-specific and live in
+subclasses (:mod:`repro.core.chime`, :mod:`repro.baselines.sherman`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.compute import ClientContext
+from repro.core.node_layout import (
+    FULL_MASK,
+    InternalLayout,
+    LOCK_BIT,
+)
+from repro.core.nodes import InternalNodeView, ParsedInternal
+from repro.core.sync import MAX_RETRIES, backoff_delay
+from repro.errors import IndexError_, TornReadError
+from repro.layout import MAX_KEY, StripedSpan, encode_u64
+from repro.layout.versions import bump_nibble
+from repro.memory import ChunkAllocator, NULL_ADDR, addr_mn
+from repro.memory.region import CACHE_LINE
+
+#: Remote offset (on MN 0) of the 8-byte global root pointer.
+ROOT_PTR_OFFSET = 8
+
+#: Bound on sibling chases during traversal / half-split validation.
+MAX_CHASE = 64
+
+
+class TraversalError(IndexError_):
+    """Remote traversal failed to converge (exceeded retry budget)."""
+
+
+@dataclass
+class LeafRef:
+    """Where traversal landed: a leaf address plus validation context."""
+
+    leaf_addr: int
+    parent: Optional[ParsedInternal]
+    parent_index: int
+    from_cache: bool
+
+    @property
+    def expected_next(self) -> Optional[int]:
+        """The cached parent's next child pointer (sibling-based
+        validation reference, §4.2.3); None when the leaf is the parent's
+        last child and the reference is unknowable."""
+        if self.parent is None:
+            return None
+        return self.parent.next_child(self.parent_index)
+
+
+class BTreeIndexBase:
+    """Host-side state shared by all clients of one tree index."""
+
+    def __init__(self, cluster: Cluster, span: int, key_size: int = 8) -> None:
+        self.cluster = cluster
+        self.internal_layout = InternalLayout(span, key_size)
+        #: Host-visible hints; the authoritative root pointer lives at
+        #: ``ROOT_PTR_OFFSET`` on MN 0 and is updated via remote CAS.
+        #: (Shortcut: hint propagation to other CNs is instantaneous;
+        #: root growth is rare and the remote CAS still serializes it.)
+        self.root_addr = NULL_ADDR
+        self.root_level = 0
+        self._host_rr = 0
+
+    # -- host-side helpers (bulk load only; no simulated cost) ----------------
+
+    def _host_alloc(self, size: int) -> int:
+        mn_ids = sorted(self.cluster.mns)
+        mn_id = mn_ids[self._host_rr % len(mn_ids)]
+        self._host_rr += 1
+        return self.cluster.mns[mn_id].allocator.alloc(size, align=CACHE_LINE)
+
+    def _host_write(self, addr: int, data: bytes) -> None:
+        self.cluster.mns[addr_mn(addr)].mem_write(addr, data)
+
+    def _host_read(self, addr: int, length: int) -> bytes:
+        return self.cluster.mns[addr_mn(addr)].mem_read(addr, length)
+
+    def _set_root(self, addr: int, level: int) -> None:
+        self.root_addr = addr
+        self.root_level = level
+        self.cluster.mns[0].region.write_u64(ROOT_PTR_OFFSET, addr)
+
+    # -- host-side tree inspection ---------------------------------------------
+
+    def internal_nodes(self) -> List[Tuple[int, ParsedInternal]]:
+        """Walk every internal node host-side (tests, cache accounting)."""
+        out: List[Tuple[int, ParsedInternal]] = []
+        if self.root_addr == NULL_ADDR:
+            return out
+        layout = self.internal_layout
+        frontier = [self.root_addr]
+        seen = set()
+        while frontier:
+            addr = frontier.pop()
+            if addr in seen or addr == NULL_ADDR:
+                continue
+            seen.add(addr)
+            raw = self._host_read(addr, layout.raw_size)
+            parsed = InternalNodeView(layout, StripedSpan(raw, 0)).parse(addr)
+            out.append((addr, parsed))
+            if parsed.level > 1:
+                frontier.extend(parsed.children[:parsed.count])
+        return out
+
+    def leaf_addrs(self) -> List[int]:
+        """Addresses of every leaf, in key order (host-side)."""
+        addrs: List[int] = []
+        for _addr, parsed in self.internal_nodes():
+            if parsed.level == 1:
+                addrs.extend(parsed.children[:parsed.count])
+        return addrs
+
+    def cache_bytes_needed(self) -> int:
+        """Bytes required to cache the full internal structure on one CN."""
+        total = self.internal_layout.total_size
+        return len(self.internal_nodes()) * total
+
+    def height(self) -> int:
+        return self.root_level
+
+
+class BTreeClientBase:
+    """Per-client machinery above the leaf level."""
+
+    def __init__(self, index: BTreeIndexBase, ctx: ClientContext) -> None:
+        self.index = index
+        self.ctx = ctx
+        self.qp = ctx.qp
+        self.engine = ctx.engine
+        self._allocators: Dict[int, ChunkAllocator] = {}
+        self._alloc_rr = ctx.client_id  # stagger MN choice across clients
+
+    # -- allocation (on the data path) ------------------------------------------
+
+    def _alloc(self, size: int) -> Generator:
+        """Allocate remote memory via the chunked RPC allocator."""
+        mn_ids = sorted(self.index.cluster.mns)
+        mn_id = mn_ids[self._alloc_rr % len(mn_ids)]
+        self._alloc_rr += 1
+        allocator = self._allocators.get(mn_id)
+        if allocator is None:
+            allocator = ChunkAllocator(
+                self.qp, mn_id,
+                chunk_size=self.index.cluster.config.alloc_chunk_bytes)
+            self._allocators[mn_id] = allocator
+        addr = yield from allocator.alloc(size)
+        return addr
+
+    # -- remote locks --------------------------------------------------------------
+
+    def _lock(self, lock_addr: int, zero_rest: bool = True,
+              piggyback: bool = True) -> Generator:
+        """Acquire the remote lock at *lock_addr*; returns the old word.
+
+        Serializes same-CN attempts through the local lock table first
+        (Sherman's optimization), then spins on a remote masked-CAS whose
+        compare mask covers only the lock bit — the returned old word
+        carries the rest of the lock word for free (vacancy-bitmap
+        piggybacking, §4.2.1).  ``zero_rest`` controls whether the swap
+        zeroes the non-lock bits (leaf locks do; the holder rewrites them
+        at unlock) or leaves them in place.
+
+        With ``piggyback=False`` (the CXL-atomics model, §4.5), the CAS
+        only toggles the lock bit and its return value is not used; the
+        rest of the word is fetched with a dedicated READ — the extra
+        round trip the paper predicts for CXL deployments.
+        """
+        local = self.ctx.cn.local_lock(lock_addr)
+        if local is not None:
+            yield local.acquire()
+        swap_mask = (FULL_MASK if zero_rest else LOCK_BIT) if piggyback \
+            else LOCK_BIT
+        for attempt in range(MAX_RETRIES):
+            old, swapped = yield from self.qp.masked_cas(
+                lock_addr, compare=0, swap=LOCK_BIT,
+                compare_mask=LOCK_BIT, swap_mask=swap_mask)
+            if swapped:
+                if not piggyback:
+                    data = yield from self.qp.read(lock_addr, 8)
+                    from repro.layout import decode_u64
+                    return decode_u64(data) & ~LOCK_BIT
+                return old
+            self.qp.stats.retries += 1
+            yield self.engine.timeout(backoff_delay(attempt))
+        if local is not None:
+            local.release()
+        raise TraversalError(f"lock {lock_addr:#x} not acquired after "
+                             f"{MAX_RETRIES} attempts")
+
+    def _release_local(self, lock_addr: int) -> None:
+        local = self.ctx.cn.local_lock(lock_addr)
+        if local is not None:
+            local.release()
+
+    # -- internal node IO --------------------------------------------------------------
+
+    def _read_internal(self, addr: int, use_cache_budget: bool = True) -> Generator:
+        """READ + optimistically validate + parse an internal node."""
+        layout = self.index.internal_layout
+        for attempt in range(MAX_RETRIES):
+            raw = yield from self.qp.read(addr, layout.raw_size)
+            view = InternalNodeView(layout, StripedSpan(raw, 0))
+            if view.is_consistent():
+                parsed = view.parse(addr)
+                if use_cache_budget:
+                    self.ctx.cache.put(addr, parsed, layout.total_size)
+                return parsed
+            self.qp.stats.retries += 1
+            yield self.engine.timeout(backoff_delay(attempt))
+        raise TornReadError(f"internal node {addr:#x} never consistent")
+
+    def _read_internal_covering(self, addr: int, key: int) -> Generator:
+        """Read an internal node, chasing siblings until it covers *key*."""
+        for _hop in range(MAX_CHASE):
+            parsed = yield from self._read_internal(addr)
+            if parsed.covers(key):
+                return parsed
+            if key >= parsed.fence_high and parsed.sibling != NULL_ADDR:
+                addr = parsed.sibling
+                continue
+            return None  # stale path (key below fences): restart from root
+        raise TraversalError(f"sibling chase exceeded {MAX_CHASE} hops")
+
+    def _write_internal(self, addr: int, level: int, fence_low: int,
+                        fence_high: int, sibling: int,
+                        entries: List[Tuple[int, int]], nv: int,
+                        unlock: bool = True) -> Generator:
+        """Compose + WRITE a full internal node, optionally with the
+        unlocking write doorbell-batched behind it (one round trip)."""
+        layout = self.index.internal_layout
+        view = InternalNodeView.compose(layout, level, fence_low, fence_high,
+                                        sibling, entries, nv=nv)
+        writes = [(addr, bytes(view.span.data))]
+        if unlock:
+            writes.append((addr + layout.lock_offset, encode_u64(0)))
+        yield from self.qp.write_batch(writes)
+        parsed = view.parse(addr)
+        self.ctx.cache.put(addr, parsed, layout.total_size)
+        return parsed
+
+    # -- traversal ------------------------------------------------------------------------
+
+    def _locate_leaf(self, key: int) -> Generator:
+        """Descend to the leaf covering *key*, preferring cached nodes."""
+        for attempt in range(MAX_RETRIES):
+            addr = self.index.root_addr
+            if addr == NULL_ADDR:
+                raise TraversalError("index has no root; bulk_load first")
+            result = yield from self._descend(addr, key, target_level=0)
+            if result is not None:
+                return result
+            yield self.engine.timeout(backoff_delay(attempt))
+        raise TraversalError(f"traversal for key {key} did not converge")
+
+    def _descend(self, addr: int, key: int, target_level: int) -> Generator:
+        """One root-to-target descent; None means restart from the root.
+
+        ``target_level=0`` returns a :class:`LeafRef`; higher targets
+        return the :class:`ParsedInternal` at that level (used by split
+        up-propagation to find ancestors).
+        """
+        while True:
+            cached = self.ctx.cache.get(addr)
+            if cached is not None and cached.valid and cached.covers(key):
+                parsed = cached
+                node_from_cache = True
+            else:
+                parsed = yield from self._read_internal_covering(addr, key)
+                node_from_cache = False
+                if parsed is None:
+                    return None
+            if parsed.level == target_level:
+                return parsed
+            if parsed.level < max(target_level, 1):
+                return None  # stale hints routed us below the target
+            index, child = parsed.find_child(key)
+            if parsed.level == 1 and target_level == 0:
+                return LeafRef(child, parsed, index, node_from_cache)
+            addr = child
+
+    # -- split up-propagation --------------------------------------------------------------
+
+    def _propagate_split(self, parent_hint: Optional[ParsedInternal],
+                         level: int, old_addr: int, split_key: int,
+                         new_addr: int) -> Generator:
+        """Insert ``(split_key -> new_addr)`` into the parent level.
+
+        *level* is the level the new entry belongs to (1 for leaf splits).
+        Follows the paper's Step 1-3 (§4.4): lock parent, insert or split
+        recursively, grow the root when the split node was the root.
+        """
+        if old_addr == self.index.root_addr:
+            yield from self._grow_root(old_addr, split_key, new_addr, level)
+            return
+        layout = self.index.internal_layout
+        parent_addr = parent_hint.addr if parent_hint is not None else NULL_ADDR
+        if parent_addr == NULL_ADDR:
+            parent = yield from self._descend(self.index.root_addr, split_key,
+                                              target_level=level)
+            if parent is None or isinstance(parent, LeafRef):
+                raise TraversalError("no parent found for split propagation")
+            parent_addr = parent.addr
+        for _hop in range(MAX_CHASE):
+            lock_addr = parent_addr + layout.lock_offset
+            yield from self._lock(lock_addr, zero_rest=False)
+            try:
+                parsed = yield from self._read_internal(parent_addr)
+                if not parsed.covers(split_key):
+                    # The parent itself split concurrently; chase.
+                    yield from self.qp.write(lock_addr, encode_u64(0))
+                    next_addr = parsed.sibling
+                    if next_addr == NULL_ADDR:
+                        raise TraversalError(
+                            "split key fell off the parent chain")
+                    parent_addr = next_addr
+                    continue
+                yield from self._insert_into_internal(
+                    parent_addr, parsed, split_key, new_addr, level)
+                return
+            finally:
+                self._release_local(lock_addr)
+        raise TraversalError(f"parent chase exceeded {MAX_CHASE} hops")
+
+    def _insert_into_internal(self, addr: int, parsed: ParsedInternal,
+                              split_key: int, new_addr: int,
+                              level: int) -> Generator:
+        """With *addr* locked: add the entry, splitting the node if full."""
+        layout = self.index.internal_layout
+        entries = list(zip(parsed.pivots, parsed.children))
+        position = 0
+        while position < len(entries) and entries[position][0] <= split_key:
+            position += 1
+        entries.insert(position, (split_key, new_addr))
+        nv = bump_nibble(parsed.nv)
+        if len(entries) <= layout.span:
+            yield from self._write_internal(
+                addr, parsed.level, parsed.fence_low, parsed.fence_high,
+                parsed.sibling, entries, nv=nv, unlock=True)
+            return
+        # Split the internal node: right half moves to a new sibling.
+        mid = len(entries) // 2
+        up_key = entries[mid][0]
+        right_entries = entries[mid:]
+        left_entries = entries[:mid]
+        new_node_addr = yield from self._alloc(layout.total_size)
+        right_view = InternalNodeView.compose(
+            layout, parsed.level, up_key, parsed.fence_high,
+            parsed.sibling, right_entries, nv=0)
+        # New node first (with a free lock line), then the old node whose
+        # sibling pointer publishes it, then unlock — one ordered batch.
+        yield from self.qp.write_batch([
+            (new_node_addr, bytes(right_view.span.data)),
+            (new_node_addr + layout.lock_offset, encode_u64(0)),
+        ])
+        self.ctx.cache.put(new_node_addr, right_view.parse(new_node_addr),
+                           layout.total_size)
+        yield from self._write_internal(
+            addr, parsed.level, parsed.fence_low, up_key,
+            new_node_addr, left_entries, nv=nv, unlock=True)
+        yield from self._propagate_split(None, level + 1, addr, up_key,
+                                         new_node_addr)
+        return
+
+    def _grow_root(self, old_root: int, split_key: int, new_addr: int,
+                   level: int) -> Generator:
+        """Allocate a new root pointing at the two halves and CAS the
+        global root pointer (§4.4 Step 3)."""
+        layout = self.index.internal_layout
+        fence_low = 0
+        root_addr = yield from self._alloc(layout.total_size)
+        entries = [(fence_low, old_root), (split_key, new_addr)]
+        view = InternalNodeView.compose(layout, level, fence_low,
+                                        MAX_KEY, NULL_ADDR, entries, nv=0)
+        yield from self.qp.write_batch([
+            (root_addr, bytes(view.span.data)),
+            (root_addr + layout.lock_offset, encode_u64(0)),
+        ])
+        root_ptr_addr = ROOT_PTR_OFFSET  # global address (MN 0, offset 8)
+        old, swapped = yield from self.qp.cas(root_ptr_addr, old_root,
+                                              root_addr)
+        if swapped:
+            self.index.root_addr = root_addr
+            self.index.root_level = level
+            self.ctx.cache.put(root_addr, view.parse(root_addr),
+                               layout.total_size)
+        else:
+            # Someone else grew the root first (our hint was stale): adopt
+            # theirs and insert our entry through the normal path.
+            self.index.root_addr = old
+            self.index.root_level = max(self.index.root_level, level)
+            yield from self._propagate_split(None, level, NULL_ADDR,
+                                             split_key, new_addr)

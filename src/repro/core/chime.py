@@ -1,0 +1,1086 @@
+"""CHIME: the cache-efficient high-performance hybrid index (paper §4).
+
+B+-tree internal nodes (shared machinery in
+:mod:`repro.core.btree_base`) with hopscotch-hash leaf nodes, plus the
+paper's three techniques:
+
+* three-level optimistic synchronization — readers run the NV / EV /
+  bitmap checks of :mod:`repro.core.sync` and retry on torn states;
+* access-aggregated metadata management — the vacancy bitmap and
+  ``argmax_keys`` ride in the 8-byte lock word (acquired via masked-CAS,
+  rewritten by the combined unlocking WRITE), and leaf metadata is
+  replicated once per neighborhood block so every neighborhood READ
+  carries a replica;
+* hotness-aware speculative reads through the per-CN
+  :class:`~repro.core.hotspot.HotspotBuffer`.
+
+Engineering notes (deviations are listed in DESIGN.md):
+
+* each leaf's trailing lock cache line also stores the leaf's fence keys
+  at offset 8 (written only on create/split).  They resolve the one
+  routing case the paper's ``argmax_keys`` mechanism cannot: an insert
+  landing on a parent's *last* child, where no "next child pointer"
+  exists to compare sibling pointers against.  The ``argmax_keys``
+  mechanism itself is implemented and used for the paper's corner case
+  (sibling mismatch against a cached parent).
+* leaf splits use the median of *all* keys as the split key (the paper
+  uses the median of the keys in the failed hop sequence); both choices
+  guarantee the pending key is insertable afterwards.
+* node merges on delete are not implemented (deletes clear entries in
+  place); none of the paper's workloads delete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.compute import ClientContext
+from repro.config import ChimeConfig
+from repro.core.btree_base import (
+    BTreeClientBase,
+    BTreeIndexBase,
+    LeafRef,
+    MAX_CHASE,
+    TraversalError,
+)
+from repro.core.hotspot import HotspotBuffer
+from repro.core.leaf_ops import HopscotchLeafOpsMixin
+from repro.core.node_layout import (
+    LeafLayout,
+    VacancyBitmap,
+    pack_lock_word,
+    unpack_lock_word,
+)
+from repro.core.nodes import LeafNodeView
+from repro.core.sync import (
+    MAX_RETRIES,
+    backoff_delay,
+    check_entry_evs,
+    check_nv_uniform,
+    collect_leaf_nv,
+)
+from repro.errors import (
+    HashTableFullError,
+    IndexError_,
+    LayoutError,
+    TornReadError,
+)
+from repro.hashing.hopscotch import HopscotchTable, default_hash, distance, plan_insert
+from repro.layout import (
+    MAX_KEY,
+    StripedSpan,
+    decode_key,
+    encode_key,
+    encode_u64,
+    encode_value,
+)
+from repro.layout.versions import SpanSet, bump_nibble, raw_span
+from repro.memory import NULL_ADDR
+
+#: Lock-line layout: [lock word: 8][fence_low: 8][fence_high: 8].
+LOCKLINE_FENCE_LOW = 8
+LOCKLINE_FENCE_HIGH = 16
+LOCKLINE_FENCES_LEN = 16
+
+#: Outcomes of a leaf-level attempt.
+_DONE = "done"
+_RETRAVERSE = "retraverse"
+_RETRY = "retry"
+
+
+@dataclass
+class OpResult:
+    status: str
+    found: bool = False
+    value: Optional[int] = None
+
+
+class LockGuard:
+    """Tracks whether the remote leaf lock is still held.
+
+    Unlocks are usually *batched behind data writes*; this guard exists so
+    exception paths only issue a restoring unlock when no path already
+    released the lock (a double unlock would overwrite the piggybacked
+    vacancy/argmax metadata written by the real release).
+    """
+
+    __slots__ = ("lock_addr", "argmax", "vacancy", "held")
+
+    def __init__(self, lock_addr: int, old_word: int) -> None:
+        self.lock_addr = lock_addr
+        _locked, self.argmax, self.vacancy = unpack_lock_word(old_word)
+        self.held = True
+
+    def release_word(self, argmax: Optional[int] = None,
+                     vacancy: Optional[int] = None) -> int:
+        """The unlock word to batch behind a data write; marks released."""
+        self.held = False
+        return pack_lock_word(
+            False,
+            self.argmax if argmax is None else argmax,
+            self.vacancy if vacancy is None else vacancy)
+
+
+class ChimeIndex(BTreeIndexBase):
+    """Host-side state of one CHIME tree."""
+
+    def __init__(self, cluster: Cluster, config: Optional[ChimeConfig] = None) -> None:
+        self.config = config or ChimeConfig()
+        super().__init__(cluster, self.config.span, self.config.key_size)
+        entry_value_size = 8 if self.config.indirect_values else self.config.value_size
+        self.leaf_layout = LeafLayout(
+            span=self.config.span,
+            neighborhood=self.config.neighborhood,
+            key_size=self.config.key_size,
+            value_size=entry_value_size,
+            replicated=self.config.metadata_replication,
+            fence_keys=not self.config.sibling_validation,
+        )
+        self.vacancy_map = VacancyBitmap(self.config.span)
+        self._hotspots: Dict[int, HotspotBuffer] = {}
+        self.loaded_items = 0
+
+    # -- clients -----------------------------------------------------------------
+
+    def client(self, ctx: ClientContext) -> "ChimeClient":
+        return ChimeClient(self, ctx)
+
+    def hotspot_buffer(self, cn_id: int) -> HotspotBuffer:
+        """The per-CN hotspot buffer (created lazily, shared by clients)."""
+        buffer = self._hotspots.get(cn_id)
+        if buffer is None:
+            size = self.config.hotspot_bytes if self.config.speculative_read else 0
+            buffer = HotspotBuffer(size)
+            self._hotspots[cn_id] = buffer
+        return buffer
+
+    def hotspot_stats(self) -> Tuple[int, int, int, int]:
+        """(lookups, hits, correct, wrong) summed over CNs."""
+        lookups = hits = correct = wrong = 0
+        for buffer in self._hotspots.values():
+            lookups += buffer.lookups
+            hits += buffer.hits
+            correct += buffer.correct_speculations
+            wrong += buffer.wrong_speculations
+        return lookups, hits, correct, wrong
+
+    # -- helpers shared with clients ------------------------------------------------
+
+    def home_of(self, key: int) -> int:
+        return default_hash(key, self.config.span)
+
+    def covered_replica_block(self, home: int) -> int:
+        """Which metadata replica a neighborhood read of *home* carries."""
+        layout = self.leaf_layout
+        if not layout.replicated:
+            return 0
+        if home % layout.neighborhood == 0:
+            return home // layout.neighborhood
+        if home + layout.neighborhood > layout.span:
+            return 0  # wrap-around reads include block 0's replica
+        return home // layout.neighborhood + 1
+
+    # -- bulk load (host-side, off the simulated data path) --------------------------
+
+    def bulk_load(self, pairs: Sequence[Tuple[int, int]]) -> None:
+        """Populate the tree from sorted, unique (key, value) pairs.
+
+        Leaves are filled to ``config.bulk_load_factor`` of their span
+        via local hopscotch placement; internal levels are packed full.
+        """
+        config = self.config
+        layout = self.leaf_layout
+        pairs = list(pairs)
+        for (a, _), (b, _) in zip(pairs, pairs[1:]):
+            if a >= b:
+                raise IndexError_("bulk_load requires sorted unique keys")
+        if pairs and pairs[0][0] < 1:
+            raise IndexError_("keys must be >= 1 (0 marks empty entries)")
+        target = max(1, int(config.span * config.bulk_load_factor))
+        leaves: List[List[Tuple[int, int]]] = []
+        table = HopscotchTable(config.span, config.neighborhood)
+        current: List[Tuple[int, int]] = []
+        for key, value in pairs:
+            if len(current) >= target:
+                leaves.append(current)
+                table = HopscotchTable(config.span, config.neighborhood)
+                current = []
+            try:
+                table.insert(key, value)
+            except HashTableFullError:
+                leaves.append(current)
+                table = HopscotchTable(config.span, config.neighborhood)
+                table.insert(key, value)
+                current = []
+            current.append((key, value))
+        leaves.append(current)
+        addrs = [self._host_alloc(layout.total_size) for _ in leaves]
+        # Fence boundaries: first key of each chunk.
+        bounds = [0] + [chunk[0][0] for chunk in leaves[1:]] + [MAX_KEY]
+        level1_entries: List[Tuple[int, int]] = []
+        for index, chunk in enumerate(leaves):
+            sibling = addrs[index + 1] if index + 1 < len(addrs) else NULL_ADDR
+            fence_low, fence_high = bounds[index], bounds[index + 1]
+            items = self._place_items(chunk)
+            self._host_write_leaf(addrs[index], items, sibling,
+                                  fence_low, fence_high)
+            level1_entries.append((fence_low, addrs[index]))
+        self.loaded_items = len(pairs)
+        self._build_internal_levels(level1_entries)
+
+    def _place_items(self, chunk: Sequence[Tuple[int, int]]) -> HopscotchTable:
+        table = HopscotchTable(self.config.span, self.config.neighborhood)
+        for key, value in chunk:
+            table.insert(key, value)  # sized to fit by the caller
+        return table
+
+    def _host_write_leaf(self, addr: int, table: HopscotchTable, sibling: int,
+                         fence_low: int, fence_high: int) -> None:
+        layout = self.leaf_layout
+        view = LeafNodeView.blank(layout, sibling=sibling,
+                                  fence_low=fence_low, fence_high=fence_high)
+        occupied = [False] * layout.span
+        for pos in range(layout.span):
+            key = table._keys[pos]
+            bitmap = table.bitmap(pos)
+            if key is not None:
+                value = table._values[pos]
+                stored = value
+                if self.config.indirect_values:
+                    stored = self._host_alloc_block(key, value)
+                view.write_entry(pos, key, stored, bitmap=bitmap, bump_ev=False)
+                occupied[pos] = True
+            elif bitmap:
+                view.set_entry_bitmap(pos, bitmap, bump_ev=False)
+        self._host_write(addr, bytes(view.span.data))
+        vacancy = self.vacancy_map.compose(occupied)
+        argmax = view.argmax_key()
+        lock_line = (encode_u64(pack_lock_word(False, argmax, vacancy))
+                     + encode_key(fence_low) + encode_key(fence_high))
+        self._host_write(addr + layout.lock_offset, lock_line)
+
+    def _host_alloc_block(self, key: int, value: int) -> int:
+        """Allocate + fill an indirect value block host-side (bulk load)."""
+        size = 8 + self.config.value_size
+        block_addr = self._host_alloc(size)
+        data = encode_key(key) + encode_value(value, self.config.value_size)
+        self._host_write(block_addr, data)
+        return block_addr
+
+    def _build_internal_levels(self, entries: List[Tuple[int, int]]) -> None:
+        from repro.core.nodes import InternalNodeView  # local to avoid cycle noise
+        layout = self.internal_layout
+        level = 1
+        while True:
+            groups = [entries[i:i + layout.span]
+                      for i in range(0, len(entries), layout.span)]
+            addrs = [self._host_alloc(layout.total_size) for _ in groups]
+            bounds = [0] + [g[0][0] for g in groups[1:]] + [MAX_KEY]
+            next_entries: List[Tuple[int, int]] = []
+            for index, group in enumerate(groups):
+                sibling = addrs[index + 1] if index + 1 < len(addrs) else NULL_ADDR
+                view = InternalNodeView.compose(
+                    layout, level, bounds[index], bounds[index + 1],
+                    sibling, group, nv=0)
+                self._host_write(addrs[index], bytes(view.span.data))
+                next_entries.append((bounds[index], addrs[index]))
+            if len(groups) == 1:
+                self._set_root(addrs[0], level)
+                return
+            entries = next_entries
+            level += 1
+
+    # -- host-side verification helpers -----------------------------------------------
+
+    def collect_items(self) -> List[Tuple[int, int]]:
+        """All (key, value) pairs, key-ordered, read host-side (tests)."""
+        layout = self.leaf_layout
+        out: List[Tuple[int, int]] = []
+        for addr in self.leaf_addrs():
+            raw = self._host_read(addr, layout.raw_size)
+            view = LeafNodeView(layout, StripedSpan(raw, 0))
+            for _pos, key, value in view.items():
+                if self.config.indirect_values:
+                    value = self._host_read_block(value)[1]
+                out.append((key, value))
+        out.sort()
+        return out
+
+    def _host_read_block(self, block_addr: int) -> Tuple[int, int]:
+        data = self._host_read(block_addr, 8 + self.config.value_size)
+        from repro.layout import decode_value
+        return decode_key(data), decode_value(data, 8,
+                                              size=self.config.value_size)
+
+    def average_leaf_load(self) -> float:
+        """Mean leaf occupancy (memory-efficiency metric, Fig. 19)."""
+        layout = self.leaf_layout
+        addrs = self.leaf_addrs()
+        if not addrs:
+            return 0.0
+        total = 0
+        for addr in addrs:
+            raw = self._host_read(addr, layout.raw_size)
+            view = LeafNodeView(layout, StripedSpan(raw, 0))
+            total += sum(1 for flag in view.occupancy() if flag)
+        return total / (len(addrs) * layout.span)
+
+    def remote_memory_bytes(self) -> int:
+        """Memory-pool bytes consumed (leaves + internals + blocks)."""
+        return sum(mn.allocator.bytes_used for mn in self.cluster.mns.values())
+
+
+class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin):
+    """One client's view of a CHIME tree: the §4.4 operations."""
+
+    def __init__(self, index: ChimeIndex, ctx: ClientContext) -> None:
+        super().__init__(index, ctx)
+        self.chime = index
+        self.config = index.config
+        self.layout = index.leaf_layout
+        self.home_of = index.home_of
+        self.hotspots = index.hotspot_buffer(ctx.cn.cn_id)
+
+    # ---------------------------------------------------------------- public API
+
+    def search(self, key: int) -> Generator:
+        """Point lookup; returns the value or None."""
+        if self.ctx.combiner.enabled:
+            result = yield from self.ctx.combiner.read(
+                ("chime-s", id(self.chime), key), lambda: self._search(key))
+            return result
+        result = yield from self._search(key)
+        return result
+
+    def insert(self, key: int, value: int) -> Generator:
+        """Insert (or overwrite) a key; returns True."""
+        if key < 1:
+            raise IndexError_("keys must be >= 1")
+        result = yield from self._insert(key, value)
+        return result
+
+    def update(self, key: int, value: int) -> Generator:
+        """Update an existing key; returns False when absent."""
+        if self.ctx.combiner.enabled:
+            result = yield from self.ctx.combiner.write(
+                ("chime-u", id(self.chime), key), value,
+                lambda v: self._update(key, v))
+            return result
+        result = yield from self._update(key, value)
+        return result
+
+    def delete(self, key: int) -> Generator:
+        """Delete a key; returns False when absent."""
+        result = yield from self._delete(key)
+        return result
+
+    def scan(self, key: int, count: int) -> Generator:
+        """Return up to *count* (key, value) pairs with keys >= *key*."""
+        result = yield from self._scan(key, count)
+        return result
+
+    # ---------------------------------------------------------------- search
+
+    def _search(self, key: int) -> Generator:
+        for attempt in range(MAX_RETRIES):
+            ref = yield from self._locate_leaf(key)
+            result = yield from self._search_leaf(ref, key)
+            if result.status == _RETRAVERSE:
+                continue
+            if result.found and self.config.indirect_values:
+                value = yield from self._read_indirect(result.value, key)
+                return value
+            return result.value if result.found else None
+        raise TraversalError(f"search({key}) did not converge")
+
+    def _search_leaf(self, ref: LeafRef, key: int) -> Generator:
+        layout = self.layout
+        home = self.chime.home_of(key)
+        leaf_addr = ref.leaf_addr
+        expected = ref.expected_next
+        from_cache = ref.from_cache
+        # Speculative read (§4.3): one entry instead of a neighborhood.
+        if self.config.speculative_read:
+            record = self.hotspots.lookup(leaf_addr, home, layout.neighborhood,
+                                          layout.span, key)
+            if record is not None:
+                value = yield from self._speculative_read(leaf_addr, record, key)
+                if value is not None:
+                    return OpResult(_DONE, found=True, value=value)
+        for _hop in range(MAX_CHASE):
+            view = yield from self._read_neighborhood_checked(leaf_addr, home)
+            sibling, valid = self._replica_info(view, home)
+            mismatch = expected is not None and sibling != expected
+            if from_cache and mismatch and ref.parent is not None:
+                self.ctx.cache.invalidate(ref.parent.addr)
+            position = self._find_in_neighborhood(view, home, key)
+            if position is not None:
+                entry = view.entry(position)
+                self.hotspots.record_access(leaf_addr, position, key)
+                return OpResult(_DONE, found=True, value=entry.value)
+            # Not found: half-split validation (§4.2.3).
+            if from_cache and mismatch:
+                return OpResult(_RETRAVERSE)
+            if sibling != NULL_ADDR and (mismatch or expected is None):
+                if expected is None and _hop >= 1:
+                    break  # bounded chase when no reference pointer exists
+                leaf_addr = sibling
+                from_cache = False
+                continue
+            break
+        return OpResult(_DONE, found=False)
+
+    def _speculative_read(self, leaf_addr: int, record, key: int) -> Generator:
+        layout = self.layout
+        segment = (layout.entry_offset(record.key_index), layout.entry_size)
+        view = yield from self._fetch_leaf(leaf_addr, [segment])
+        try:
+            check_nv_uniform(collect_leaf_nv(view, [record.key_index]))
+            check_entry_evs(view, [record.key_index])
+        except TornReadError:
+            self.qp.stats.retries += 1  # torn speculation: fall back
+            return None
+        entry = view.entry(record.key_index)
+        if entry.occupied and entry.key == key:
+            self.hotspots.correct_speculations += 1
+            self.hotspots.record_access(leaf_addr, record.key_index, key)
+            return entry.value
+        self.hotspots.wrong_speculations += 1
+        return None
+
+    def _read_indirect(self, block_addr: int, key: int) -> Generator:
+        data = yield from self.qp.read(block_addr, 8 + self.config.value_size)
+        stored_key = decode_key(data)
+        if stored_key != key:
+            raise TornReadError(
+                f"indirect block key mismatch ({stored_key} != {key})")
+        from repro.layout import decode_value
+        return decode_value(data, 8, size=self.config.value_size)
+
+    # ---------------------------------------------------------------- update / delete
+
+    def _update(self, key: int, value: int) -> Generator:
+        for attempt in range(MAX_RETRIES):
+            ref = yield from self._locate_leaf(key)
+            result = yield from self._write_entry_op(ref, key, value,
+                                                     delete=False)
+            if result.status == _RETRAVERSE:
+                continue
+            return result.found
+        raise TraversalError(f"update({key}) did not converge")
+
+    def _delete(self, key: int) -> Generator:
+        for attempt in range(MAX_RETRIES):
+            ref = yield from self._locate_leaf(key)
+            result = yield from self._write_entry_op(ref, key, 0, delete=True)
+            if result.status == _RETRAVERSE:
+                continue
+            return result.found
+        raise TraversalError(f"delete({key}) did not converge")
+
+    def _write_entry_op(self, ref: LeafRef, key: int, value: int,
+                        delete: bool) -> Generator:
+        """Shared update/delete flow: lock, locate entry, write, unlock."""
+        layout = self.layout
+        home = self.chime.home_of(key)
+        leaf_addr = ref.leaf_addr
+        expected = ref.expected_next
+        from_cache = ref.from_cache
+        for _hop in range(MAX_CHASE):
+            lock_addr = leaf_addr + layout.lock_offset
+            old_word = yield from self._lock(
+                lock_addr, piggyback=not self.config.cxl_atomics)
+            guard = LockGuard(lock_addr, old_word)
+            try:
+                result = yield from self._write_entry_locked(
+                    guard, ref, leaf_addr, home, key, value, delete,
+                    expected, from_cache, _hop)
+            except BaseException:
+                if guard.held:
+                    yield from self.qp.write(
+                        lock_addr, encode_u64(guard.release_word()))
+                raise
+            finally:
+                self._release_local(lock_addr)
+            if result.status == "chase":
+                leaf_addr = result.value
+                from_cache = False
+                continue
+            return result
+        return OpResult(_DONE, found=False)
+
+    def _write_entry_locked(self, guard: LockGuard, ref: LeafRef,
+                            leaf_addr: int, home: int, key: int, value: int,
+                            delete: bool, expected: Optional[int],
+                            from_cache: bool, hop: int) -> Generator:
+        layout = self.layout
+        view, position, _spec_hit = yield from self._locate_entry_locked(
+            leaf_addr, home, key, allow_speculative=not delete)
+        if position is None:
+            sibling, _valid = self._replica_info(view, home)
+            mismatch = expected is not None and sibling != expected
+            yield from self.qp.write(guard.lock_addr,
+                                     encode_u64(guard.release_word()))
+            if from_cache and mismatch and ref.parent is not None:
+                self.ctx.cache.invalidate(ref.parent.addr)
+                return OpResult(_RETRAVERSE)
+            if sibling != NULL_ADDR and (mismatch or expected is None):
+                if expected is None and hop >= 1:
+                    return OpResult(_DONE, found=False)
+                return OpResult("chase", value=sibling)
+            return OpResult(_DONE, found=False)
+        writes: List[Tuple[int, bytes]] = []
+        argmax, vacancy = guard.argmax, guard.vacancy
+        if delete:
+            view.clear_entry(position)
+            offset = distance(home, position, layout.span)
+            home_bitmap = view.entry(home).bitmap & ~(1 << offset)
+            view.set_entry_bitmap(home, home_bitmap)
+            writes.extend(self._entry_writes(leaf_addr, view,
+                                             {position, home}))
+            vacancy &= ~(1 << self.chime.vacancy_map.bit_of(position))
+            if position == argmax:
+                argmax = yield from self._recompute_argmax(leaf_addr)
+            self.hotspots.invalidate(leaf_addr, position)
+        else:
+            stored = value
+            if self.config.indirect_values:
+                stored = yield from self._write_indirect(key, value)
+            view.write_entry(position, key, stored)
+            writes.extend(self._entry_writes(leaf_addr, view, {position}))
+            self.hotspots.record_access(leaf_addr, position, key)
+        writes.append((guard.lock_addr,
+                       encode_u64(guard.release_word(argmax, vacancy))))
+        yield from self.qp.write_batch(writes)
+        return OpResult(_DONE, found=True)
+
+    def _locate_entry_locked(self, leaf_addr: int, home: int, key: int,
+                             allow_speculative: bool = True) -> Generator:
+        """Under the leaf lock: find the entry holding *key*.
+
+        Tries a speculative single-entry read first when the hotspot
+        buffer has a credible location ("gets the target entry like the
+        search", §4.4), then falls back to the neighborhood.  Returns
+        ``(view, position, spec_hit)``; on a speculative hit the view
+        only covers the one entry (the caller needs no replica info when
+        the key was found; deletes disable speculation because they must
+        also rewrite the home entry's bitmap).
+        """
+        layout = self.layout
+        if self.config.speculative_read and allow_speculative:
+            record = self.hotspots.lookup(leaf_addr, home, layout.neighborhood,
+                                          layout.span, key)
+            if record is not None:
+                segment = (layout.entry_offset(record.key_index),
+                           layout.entry_size)
+                view = yield from self._fetch_leaf(leaf_addr, [segment])
+                entry = view.entry(record.key_index)
+                if entry.occupied and entry.key == key:
+                    self.hotspots.correct_speculations += 1
+                    return view, record.key_index, True
+                self.hotspots.wrong_speculations += 1
+        view = yield from self._fetch_neighborhood_view(leaf_addr, home)
+        position = self._find_in_neighborhood(view, home, key)
+        return view, position, False
+
+    def _recompute_argmax(self, leaf_addr: int) -> Generator:
+        """Full-node read to re-locate the maximum key (rare: deletes of
+        the current maximum)."""
+        view = yield from self._fetch_leaf(leaf_addr,
+                                           [self.layout.full_span()])
+        return view.argmax_key()
+
+    def _write_indirect(self, key: int, value: int) -> Generator:
+        """Allocate + write a fresh indirect value block (out-of-place)."""
+        size = 8 + self.config.value_size
+        block_addr = yield from self._alloc(size)
+        data = encode_key(key) + encode_value(value, self.config.value_size)
+        yield from self.qp.write(block_addr, data)
+        return block_addr
+
+    # ---------------------------------------------------------------- insert
+
+    def _insert(self, key: int, value: int) -> Generator:
+        for attempt in range(MAX_RETRIES):
+            ref = yield from self._locate_leaf(key)
+            result = yield from self._insert_leaf(ref, key, value)
+            if result.status == _DONE:
+                return result.found
+            yield self.engine.timeout(backoff_delay(min(attempt, 4)))
+        raise TraversalError(f"insert({key}) did not converge")
+
+    def _insert_leaf(self, ref: LeafRef, key: int, value: int) -> Generator:
+        layout = self.layout
+        config = self.config
+        home = self.chime.home_of(key)
+        leaf_addr = ref.leaf_addr
+        expected = ref.expected_next
+        from_cache = ref.from_cache
+        for _hop in range(MAX_CHASE):
+            lock_addr = leaf_addr + layout.lock_offset
+            old_word = yield from self._lock(
+                lock_addr, piggyback=not self.config.cxl_atomics)
+            guard = LockGuard(lock_addr, old_word)
+            try:
+                outcome = yield from self._insert_locked(
+                    guard, ref, leaf_addr, home, key, value,
+                    expected, from_cache)
+            except BaseException:
+                if guard.held:
+                    yield from self.qp.write(
+                        lock_addr, encode_u64(guard.release_word()))
+                raise
+            finally:
+                self._release_local(lock_addr)
+            if outcome.status == "chase":
+                leaf_addr = outcome.value
+                from_cache = False
+                continue
+            return outcome
+        raise TraversalError(f"insert({key}) chased too many siblings")
+
+    def _insert_locked(self, guard: LockGuard, ref: LeafRef, leaf_addr: int,
+                       home: int, key: int, value: int,
+                       expected: Optional[int],
+                       from_cache: bool) -> Generator:
+        """The core insert flow, owning the remote lock.
+
+        Every return path below releases the remote lock, either batched
+        with the data write or via an explicit unlock write (tracked by
+        *guard* so exception cleanup never double-releases).
+        """
+        layout = self.layout
+        config = self.config
+        vmap = self.chime.vacancy_map
+        lock_addr = guard.lock_addr
+        argmax, vacancy = guard.argmax, guard.vacancy
+        # Decide the read range from the piggybacked vacancy bitmap.
+        full_read = not config.vacancy_bitmap
+        first_maybe = vmap.first_maybe_empty(vacancy, home) if not full_read else 0
+        node_full_hint = (first_maybe == -1)
+        if node_full_hint:
+            full_read = True
+        if full_read:
+            last = (home - 1) % layout.span  # whole table, circularly
+        else:
+            cover = vmap.coverage(vmap.bit_of(first_maybe))
+            end = cover[-1] if distance(home, cover[-1], layout.span) \
+                >= layout.neighborhood - 1 else \
+                (home + layout.neighborhood - 1) % layout.span
+            if distance(home, end, layout.span) >= layout.span - 1:
+                full_read = True
+                end = (home - 1) % layout.span
+            last = end
+        view, fence_low, fence_high, max_entry = yield from self._insert_read(
+            leaf_addr, home, last, argmax)
+        sibling = view.replica_sibling(self._range_replica_block(home, last))
+        mismatch = expected is not None and sibling != expected
+        if mismatch and ref.parent is not None:
+            self.ctx.cache.invalidate(ref.parent.addr)
+        # Routing: the paper's argmax mechanism for detected half-splits;
+        # the lock-line fence keys for the unknown-reference case.
+        if mismatch and max_entry is not None and key > max_entry:
+            yield from self.qp.write(lock_addr, encode_u64(guard.release_word()))
+            return OpResult("chase", value=sibling)
+        if key >= fence_high and sibling != NULL_ADDR:
+            yield from self.qp.write(lock_addr, encode_u64(guard.release_word()))
+            return OpResult("chase", value=sibling)
+        if key < fence_low:
+            yield from self.qp.write(lock_addr, encode_u64(guard.release_word()))
+            return OpResult(_RETRAVERSE)
+        # Duplicate check within the neighborhood (upsert semantics; the
+        # variable-length-key subclass overrides the handler to chain
+        # fingerprint-colliding blocks instead, §4.5).
+        duplicate = self._find_in_neighborhood(view, home, key)
+        if duplicate is not None:
+            result = yield from self._handle_duplicate(
+                guard, view, leaf_addr, duplicate, key, value,
+                argmax, vacancy)
+            return result
+        # Find the actual first empty entry in the fetched range.
+        empty = self._first_empty(view, home, last)
+        if empty is None and not full_read:
+            # The coarse bitmap lied for this window; fetch the rest.
+            view = yield from self._extend_to_full(leaf_addr, view)
+            full_read = True
+            last = (home - 1) % layout.span
+            empty = self._first_empty(view, home, last)
+        if empty is None:
+            result = yield from self._split_leaf(
+                guard, ref, leaf_addr, view if full_read else None,
+                fence_low, fence_high)
+            return result
+        # Plan the hop sequence over the fetched entries.
+        home_of = self._make_home_of(view)
+        plan = plan_insert(home, empty, layout.span, layout.neighborhood,
+                           home_of)
+        if plan is not None and self._plan_needs_extension(plan, home, empty):
+            view = yield from self._extend_to_full(leaf_addr, view)
+            full_read = True
+        if plan is None:
+            result = yield from self._split_leaf(
+                guard, ref, leaf_addr, view if full_read else None,
+                fence_low, fence_high)
+            return result
+        # Apply the plan to the local buffer.
+        stored = yield from self._stored_value_for_insert(key, value)
+        modified = self._apply_plan(view, plan, home, key, stored)
+        # Metadata maintenance: vacancy (conservative) + argmax.
+        vacancy = self._update_vacancy(view, vacancy, plan.target, full_read,
+                                       home, last)
+        if max_entry is not None and key > max_entry:
+            argmax = plan.target
+        elif plan.moves:
+            argmax = self._track_argmax_moves(argmax, plan.moves)
+        for src, _dst in plan.moves:
+            self.hotspots.invalidate(leaf_addr, src)
+        writes = self._entry_writes(leaf_addr, view, modified)
+        writes.append((lock_addr,
+                       encode_u64(guard.release_word(argmax, vacancy))))
+        yield from self.qp.write_batch(writes)
+        self.hotspots.record_access(leaf_addr, plan.target, key)
+        return OpResult(_DONE, found=True)
+
+    def _stored_value_for_insert(self, key: int, value: int) -> Generator:
+        """The 8-byte payload a fresh insert stores in the leaf entry
+        (the indirect-value block pointer when indirection is on; the
+        variable-length-key subclass stores a chain head instead)."""
+        if self.config.indirect_values:
+            stored = yield from self._write_indirect(key, value)
+            return stored
+        return value
+
+    def _handle_duplicate(self, guard: LockGuard, view: LeafNodeView,
+                          leaf_addr: int, position: int, key: int,
+                          value: int, argmax: int,
+                          vacancy: int) -> Generator:
+        """Insert hit an existing key: overwrite it (upsert)."""
+        stored = value
+        if self.config.indirect_values:
+            stored = yield from self._write_indirect(key, value)
+        view.write_entry(position, key, stored)
+        writes = self._entry_writes(leaf_addr, view, {position})
+        writes.append((guard.lock_addr,
+                       encode_u64(guard.release_word(argmax, vacancy))))
+        yield from self.qp.write_batch(writes)
+        return OpResult(_DONE, found=True)
+
+    def _insert_read(self, leaf_addr: int, home: int, last: int,
+                     argmax: int) -> Generator:
+        """The insert's doorbell-batched READ: hop-range segments, the
+        lock-line fence keys, and the argmax entry (when outside the
+        range) — one round trip."""
+        layout = self.layout
+        segments = list(layout.range_segments(home, last))
+        covered = layout.entries_covered_by_range(home, last)
+        argmax_extra = argmax not in covered
+        if argmax_extra:
+            segments.append((layout.entry_offset(argmax), layout.entry_size))
+        requests = []
+        for off, length in segments:
+            raw_off, raw_len = raw_span(off, length)
+            requests.append((leaf_addr + raw_off, raw_len))
+        fence_addr = leaf_addr + layout.lock_offset + LOCKLINE_FENCE_LOW
+        requests.append((fence_addr, LOCKLINE_FENCES_LEN))
+        payloads = yield from self.qp.read_batch(requests)
+        spans = []
+        for (off, length), data in zip(segments, payloads[:-1]):
+            raw_off, _raw_len = raw_span(off, length)
+            spans.append(StripedSpan(data, base=raw_off))
+        view = LeafNodeView(layout, SpanSet(spans))
+        fences = payloads[-1]
+        fence_low = decode_key(fences, 0)
+        fence_high = decode_key(fences, 8)
+        max_entry_key: Optional[int] = None
+        entry = view.entry(argmax)
+        if entry.occupied:
+            max_entry_key = entry.key
+        if not layout.replicated:
+            header = yield from self._fetch_leaf(leaf_addr,
+                                                 [(0, layout.replica_size)])
+            extra = (header.span.spans if isinstance(header.span, SpanSet)
+                     else [header.span])
+            view.span.spans.extend(extra)
+            view.span.spans.sort(key=lambda s: s.base)
+        return view, fence_low, fence_high, max_entry_key
+
+    def _segment_entries(self, first: int, last: int) -> set:
+        span = self.layout.span
+        count = distance(first, last, span) + 1
+        return {(first + i) % span for i in range(count)}
+
+    def _first_empty(self, view: LeafNodeView, home: int,
+                     last: int) -> Optional[int]:
+        span = self.layout.span
+        count = distance(home, last, span) + 1
+        for step in range(count):
+            pos = (home + step) % span
+            if not view.entry(pos).occupied:
+                return pos
+        return None
+
+    def _make_home_of(self, view: LeafNodeView):
+        def home_of(pos: int) -> Optional[int]:
+            entry = view.entry(pos)
+            if not entry.occupied:
+                return None
+            return self.chime.home_of(entry.key)
+        return home_of
+
+    def _plan_needs_extension(self, plan, home: int, empty: int) -> bool:
+        """True when a hop's bitmap update lands outside [home, empty]."""
+        span = self.layout.span
+        reach = distance(home, empty, span)
+        return any(distance(home, pos, span) > reach for pos in plan.touched)
+
+    def _extend_to_full(self, leaf_addr: int, _old_view) -> Generator:
+        """Fetch the entire leaf (extension reads share one code path)."""
+        view = yield from self._fetch_leaf(leaf_addr,
+                                           [self.layout.full_span()])
+        return view
+
+    def _apply_plan(self, view: LeafNodeView, plan, home: int, key: int,
+                    stored_value: int) -> set:
+        """Execute hop moves + placement on the local buffer; returns the
+        set of modified entry positions."""
+        layout = self.layout
+        span = layout.span
+        modified = set()
+        for src, dst in plan.moves:
+            entry = view.entry(src)
+            src_home = self.chime.home_of(entry.key)
+            view.write_entry(dst, entry.key, entry.value)
+            view.clear_entry(src)
+            bitmap = view.entry(src_home).bitmap
+            bitmap &= ~(1 << distance(src_home, src, span))
+            bitmap |= 1 << distance(src_home, dst, span)
+            view.set_entry_bitmap(src_home, bitmap)
+            modified.update((src, dst, src_home))
+        view.write_entry(plan.target, key, stored_value)
+        home_bitmap = view.entry(home).bitmap
+        home_bitmap |= 1 << distance(home, plan.target, span)
+        view.set_entry_bitmap(home, home_bitmap)
+        modified.update((plan.target, home))
+        return modified
+
+    def _update_vacancy(self, view: LeafNodeView, vacancy: int, target: int,
+                        full_read: bool, home: int, last: int) -> int:
+        """Set the bit covering *target* only when its whole coverage is
+        visibly occupied; conservative otherwise (clear = maybe empty)."""
+        vmap = self.chime.vacancy_map
+        bit = vmap.bit_of(target)
+        coverage = vmap.coverage(bit)
+        known = self._segment_entries(home, last) if not full_read else \
+            set(range(self.layout.span))
+        if all(pos in known for pos in coverage):
+            if all(view.entry(pos).occupied for pos in coverage):
+                return vacancy | (1 << bit)
+        return vacancy & ~(1 << bit)
+
+    @staticmethod
+    def _track_argmax_moves(argmax: int, moves) -> int:
+        for src, dst in moves:
+            if src == argmax:
+                argmax = dst
+        return argmax
+
+    def _entry_writes(self, leaf_addr: int, view: LeafNodeView,
+                      positions: set) -> List[Tuple[int, bytes]]:
+        """Write-back payloads: one raw sub-span per modified entry, with
+        adjacent entries coalesced into single WRITEs."""
+        layout = self.layout
+        ordered = sorted(positions)
+        groups: List[List[int]] = []
+        for pos in ordered:
+            if groups and pos == groups[-1][-1] + 1:
+                groups[-1].append(pos)
+            else:
+                groups.append([pos])
+        writes: List[Tuple[int, bytes]] = []
+        for group in groups:
+            start_off = layout.entry_offset(group[0])
+            end_off = layout.entry_offset(group[-1]) + layout.entry_size
+            try:
+                # Entries within one block are contiguous; crossing a
+                # replica boundary keeps the replica bytes in between
+                # (harmlessly rewritten with the same content we fetched).
+                raw_off, raw_bytes = view.span.sub_span(start_off,
+                                                        end_off - start_off)
+                writes.append((leaf_addr + raw_off, raw_bytes))
+            except LayoutError:
+                # The group straddles two fetched segments (wrap-around
+                # reads): fall back to one write per entry.
+                for pos in group:
+                    off = layout.entry_offset(pos)
+                    raw_off, raw_bytes = view.span.sub_span(
+                        off, layout.entry_size)
+                    writes.append((leaf_addr + raw_off, raw_bytes))
+        return writes
+
+    # ---------------------------------------------------------------- split
+
+    def _split_leaf(self, guard: LockGuard, ref: LeafRef, leaf_addr: int,
+                    full_view: Optional[LeafNodeView], fence_low: int,
+                    fence_high: int) -> Generator:
+        """Split the locked leaf; returns RETRY so the insert re-runs."""
+        layout = self.layout
+        lock_addr = guard.lock_addr
+        if full_view is None:
+            full_view = yield from self._fetch_leaf(leaf_addr,
+                                                    [layout.full_span()])
+        items = sorted((key, value) for _pos, key, value in full_view.items())
+        if not items:
+            raise IndexError_("split of an empty leaf")
+        mid = len(items) // 2
+        split_key = items[mid - 1][0] if mid > 0 else items[0][0]
+        left_items = [(k, v) for k, v in items if k <= split_key]
+        right_items = [(k, v) for k, v in items if k > split_key]
+        pivot = split_key + 1
+        old_sibling = self._replica_sibling_any(full_view)
+        new_addr = yield from self._alloc(layout.total_size)
+        # New (right) node first: not reachable until A points at it.
+        right_view, right_word = self._compose_leaf(right_items,
+                                                    sibling=old_sibling,
+                                                    fence_low=pivot,
+                                                    fence_high=fence_high,
+                                                    nv=0)
+        yield from self.qp.write_batch([
+            (new_addr, bytes(right_view.span.data)),
+            (new_addr + layout.lock_offset,
+             encode_u64(right_word) + encode_key(pivot)
+             + encode_key(fence_high)),
+        ])
+        # Rewrite A: remaining items, sibling -> new node, NV bumped,
+        # unlock + fences batched behind the node write.
+        old_nv = full_view.span.nv_nibbles()[0]
+        left_view, left_word = self._compose_leaf(left_items,
+                                                  sibling=new_addr,
+                                                  fence_low=fence_low,
+                                                  fence_high=pivot,
+                                                  nv=bump_nibble(old_nv))
+        guard.held = False  # the batched lock-line write below releases it
+        yield from self.qp.write_batch([
+            (leaf_addr, bytes(left_view.span.data)),
+            (lock_addr, encode_u64(left_word) + encode_key(fence_low)
+             + encode_key(pivot)),
+        ])
+        for pos in range(layout.span):
+            self.hotspots.invalidate(leaf_addr, pos)
+        parent_hint = ref.parent if ref.parent is not None else None
+        yield from self._propagate_split(parent_hint, 1, leaf_addr, pivot,
+                                         new_addr)
+        return OpResult(_RETRY)
+
+    def _compose_leaf(self, items: Sequence[Tuple[int, int]], sibling: int,
+                      fence_low: int, fence_high: int,
+                      nv: int) -> Tuple[LeafNodeView, int]:
+        """Build a full leaf image + its unlocked lock word locally."""
+        layout = self.layout
+        table = HopscotchTable(layout.span, layout.neighborhood)
+        for key, value in items:
+            table.insert(key, value)  # post-split load ~50%: must fit
+        view = LeafNodeView.blank(layout, sibling=sibling,
+                                  fence_low=fence_low, fence_high=fence_high)
+        view.set_all_nv(nv)
+        view.set_all_replicas(sibling, fence_low, fence_high)
+        occupied = [False] * layout.span
+        for pos in range(layout.span):
+            key = table._keys[pos]
+            bitmap = table.bitmap(pos)
+            if key is not None:
+                view.write_entry(pos, key, table._values[pos], bitmap=bitmap,
+                                 bump_ev=False)
+                occupied[pos] = True
+            elif bitmap:
+                view.set_entry_bitmap(pos, bitmap, bump_ev=False)
+        vacancy = self.chime.vacancy_map.compose(occupied)
+        word = pack_lock_word(False, view.argmax_key(), vacancy)
+        return view, word
+
+    def _replica_sibling_any(self, full_view: LeafNodeView) -> int:
+        return full_view.replica_sibling(0)
+
+    # ---------------------------------------------------------------- scan
+
+    def _scan(self, key: int, count: int) -> Generator:
+        layout = self.layout
+        ref = yield from self._locate_leaf(key)
+        # Candidate leaves from the (possibly cached) parent: batched
+        # parallel READs (§4.4), then sibling chasing for the tail.
+        candidates = [ref.leaf_addr]
+        if ref.parent is not None:
+            candidates.extend(
+                ref.parent.children[ref.parent_index + 1:ref.parent.count])
+        per_leaf = max(1, int(layout.span * 0.5))
+        needed = min(len(candidates), count // per_leaf + 2)
+        views = yield from self._read_leaves_batch(candidates[:needed])
+        results: List[Tuple[int, int]] = []
+        last_view: Optional[LeafNodeView] = None
+        for view in views:
+            last_view = view
+            for _pos, item_key, value in view.items():
+                if item_key >= key:
+                    results.append((item_key, value))
+        results.sort()
+        next_addr = last_view.replica_sibling(0) if last_view is not None \
+            else NULL_ADDR
+        guard = 0
+        while len(results) < count and next_addr != NULL_ADDR and guard < 1024:
+            guard += 1
+            views = yield from self._read_leaves_batch([next_addr])
+            view = views[0]
+            for _pos, item_key, value in view.items():
+                if item_key >= key:
+                    results.append((item_key, value))
+            results.sort()
+            next_addr = view.replica_sibling(0)
+        results = results[:count]
+        if self.config.indirect_values:
+            resolved = []
+            for item_key, block in results:
+                value = yield from self._read_indirect(block, item_key)
+                resolved.append((item_key, value))
+            return resolved
+        return results
+
+    def _read_leaves_batch(self, addrs: Sequence[int]) -> Generator:
+        """Parallel full-leaf READs with per-leaf consistency retries."""
+        layout = self.layout
+        requests = [(addr, layout.raw_size) for addr in addrs]
+        payloads = yield from self.qp.read_batch(requests)
+        views: List[LeafNodeView] = []
+        for addr, data in zip(addrs, payloads):
+            view = LeafNodeView(layout, StripedSpan(data, 0))
+            for attempt in range(MAX_RETRIES):
+                try:
+                    nv_values = collect_leaf_nv(view, range(layout.span))
+                    check_nv_uniform(nv_values)
+                    break
+                except TornReadError:
+                    self.qp.stats.retries += 1
+                    yield self.engine.timeout(backoff_delay(attempt))
+                    data = yield from self.qp.read(addr, layout.raw_size)
+                    view = LeafNodeView(layout, StripedSpan(data, 0))
+            views.append(view)
+        return views
+
+    # ---------------------------------------------------------------- shared plumbing
+
+    def _replica_info(self, view: LeafNodeView, home: int) -> Tuple[int, bool]:
+        block = self.chime.covered_replica_block(home)
+        return view.replica_sibling(block), view.replica_valid(block)
+
+    def _range_replica_block(self, first: int, last: int) -> int:
+        """The replica carried by a :meth:`LeafLayout.range_segments` read."""
+        if not self.layout.replicated:
+            return 0
+        if first <= last:
+            return self.layout.block_of(first)
+        return 0  # wrapped reads start their head segment at block 0
+
+    def _unlock(self, lock_addr: int, argmax: int, vacancy: int) -> Generator:
+        """Release the remote lock, restoring the piggybacked metadata."""
+        word = pack_lock_word(False, argmax, vacancy)
+        yield from self.qp.write(lock_addr, encode_u64(word))

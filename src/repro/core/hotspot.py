@@ -1,0 +1,114 @@
+"""The hotness-aware speculative read mechanism (paper §4.3).
+
+Each CN hosts one :class:`HotspotBuffer`: a byte-budgeted LFU cache of
+*hotspot descriptors* — precise (leaf address, entry index) locations of
+frequently read KV entries, guarded by a 2-byte key fingerprint.  Before a
+neighborhood read, the client consults the buffer; a hit lets it READ one
+entry instead of the whole neighborhood, eliminating the residual read
+amplification of hopscotch hashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.layout.codec import fingerprint16
+
+#: Bytes per buffer entry: 8 (leaf addr) + 2 (key index) + 2 (fingerprint)
+#: + 4 (counter), as in Figure 11.
+ENTRY_BYTES = 16
+
+
+@dataclass
+class HotspotRecord:
+    """One descriptor in the buffer."""
+
+    leaf_addr: int
+    key_index: int
+    fingerprint: int
+    counter: int = 1
+
+
+class HotspotBuffer:
+    """LFU-evicting buffer of hotspot descriptors, shared per CN."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        self.capacity = max(capacity_bytes // ENTRY_BYTES, 0)
+        self._records: Dict[Tuple[int, int], HotspotRecord] = {}
+        self.hits = 0
+        self.lookups = 0
+        self.correct_speculations = 0
+        self.wrong_speculations = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def bytes_used(self) -> int:
+        return len(self._records) * ENTRY_BYTES
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def record_access(self, leaf_addr: int, key_index: int, key: int) -> None:
+        """Update the buffer after reading a remote KV entry (§4.3).
+
+        A matching fingerprint increments the counter; a mismatch means
+        the descriptor went stale (the entry now holds another key), so
+        it is refreshed with counter 1; an absent descriptor is inserted,
+        evicting the least frequently used one if the buffer is full.
+        """
+        if self.capacity == 0:
+            return
+        fingerprint = fingerprint16(key)
+        record = self._records.get((leaf_addr, key_index))
+        if record is not None:
+            if record.fingerprint == fingerprint:
+                record.counter += 1
+            else:
+                record.fingerprint = fingerprint
+                record.counter = 1
+            return
+        if len(self._records) >= self.capacity:
+            self._evict_lfu()
+        self._records[(leaf_addr, key_index)] = HotspotRecord(
+            leaf_addr, key_index, fingerprint)
+
+    def invalidate(self, leaf_addr: int, key_index: int) -> None:
+        """Drop a descriptor known to be stale (e.g. after a node split)."""
+        self._records.pop((leaf_addr, key_index), None)
+
+    def lookup(self, leaf_addr: int, home: int, neighborhood: int,
+               span: int, key: int) -> Optional[HotspotRecord]:
+        """Find the hottest credible descriptor for *key* in its
+        neighborhood; None means do a normal neighborhood read."""
+        self.lookups += 1
+        fingerprint = fingerprint16(key)
+        best: Optional[HotspotRecord] = None
+        for offset in range(neighborhood):
+            index = (home + offset) % span
+            record = self._records.get((leaf_addr, index))
+            if record is None or record.fingerprint != fingerprint:
+                continue
+            if best is None or record.counter > best.counter:
+                best = record
+        if best is not None:
+            self.hits += 1
+        return best
+
+    #: Eviction samples this many candidates (approximate LFU, O(1)-ish;
+    #: exact LFU would scan the whole buffer on every eviction).
+    _EVICTION_SAMPLE = 16
+
+    def _evict_lfu(self) -> None:
+        victim_key = None
+        victim_count = None
+        for sampled, key in enumerate(self._records):
+            counter = self._records[key].counter
+            if victim_count is None or counter < victim_count:
+                victim_key, victim_count = key, counter
+            if sampled + 1 >= self._EVICTION_SAMPLE:
+                break
+        del self._records[victim_key]

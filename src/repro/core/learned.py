@@ -1,0 +1,487 @@
+"""CHIME-Learned: hopscotch leaf nodes under a learned model (§5.3).
+
+The paper's factor analysis applies CHIME's techniques to ROLEX too: the
+end state replaces ROLEX's sorted leaf tables with CHIME's hopscotch leaf
+nodes, routed by PLA models instead of B+-tree internal nodes.  The paper
+calls the result *CHIME-Learned* and observes that CHIME proper beats it
+because the model's ±error window makes searches fetch **one neighborhood
+per candidate leaf** (usually two) instead of one — which settles the
+design choice of combining the B+ tree, not the learned index, with
+hopscotch hashing.
+
+Implementation notes: leaves use the fence-key replica layout (the model
+gives no parent to validate siblings against); keys that overflow their
+leaf go to chained synonym leaves via the replica sibling pointer, with
+the chain guarded by the base leaf's lock (as in our ROLEX); the model is
+pre-trained like ROLEX's (§5.1 fn. 3).  Scans are not implemented — the
+paper evaluates CHIME-Learned on point workloads only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.baselines.pla import PlaModel
+from repro.cluster.cluster import Cluster
+from repro.cluster.compute import ClientContext
+from repro.core.chime import LockGuard
+from repro.core.leaf_ops import HopscotchLeafOpsMixin
+from repro.core.node_layout import (
+    LeafLayout,
+    VacancyBitmap,
+    pack_lock_word,
+)
+from repro.core.nodes import LeafNodeView
+from repro.core.sync import MAX_RETRIES, backoff_delay
+from repro.errors import IndexError_
+from repro.hashing.hopscotch import (
+    HopscotchTable,
+    default_hash,
+    distance,
+    plan_insert,
+)
+from repro.layout import MAX_KEY, StripedSpan, encode_key, encode_u64
+from repro.layout.versions import bump_nibble
+from repro.memory import ChunkAllocator, NULL_ADDR, addr_mn
+from repro.memory.region import CACHE_LINE
+
+#: Cached bytes per leaf address (like ROLEX's leaf table).
+LEAF_ADDR_BYTES = 8
+
+
+class LearnedChimeIndex:
+    """Host-side state: PLA model + flat array of hopscotch leaves."""
+
+    def __init__(self, cluster: Cluster, span: int = 64,
+                 neighborhood: int = 8, error: int = 16,
+                 value_size: int = 8,
+                 bulk_load_factor: float = 0.7) -> None:
+        self.cluster = cluster
+        self.span = span
+        self.neighborhood = neighborhood
+        self.error = error
+        self.value_size = value_size
+        self.bulk_load_factor = bulk_load_factor
+        self.leaf_layout = LeafLayout(span=span, neighborhood=neighborhood,
+                                      value_size=value_size,
+                                      replicated=True, fence_keys=True)
+        self.vacancy_map = VacancyBitmap(span)
+        self.model: Optional[PlaModel] = None
+        self.leaf_addrs: List[int] = []
+        self._items_per_leaf = 1
+        self._host_rr = 0
+        self.loaded_items = 0
+
+    def client(self, ctx: ClientContext) -> "LearnedChimeClient":
+        return LearnedChimeClient(self, ctx)
+
+    def home_of(self, key: int) -> int:
+        return default_hash(key, self.span)
+
+    # -- host helpers -----------------------------------------------------------
+
+    def _host_alloc(self, size: int) -> int:
+        mn_ids = sorted(self.cluster.mns)
+        mn_id = mn_ids[self._host_rr % len(mn_ids)]
+        self._host_rr += 1
+        return self.cluster.mns[mn_id].allocator.alloc(size,
+                                                       align=CACHE_LINE)
+
+    def _host_write(self, addr: int, data: bytes) -> None:
+        self.cluster.mns[addr_mn(addr)].mem_write(addr, data)
+
+    def _host_read(self, addr: int, length: int) -> bytes:
+        return self.cluster.mns[addr_mn(addr)].mem_read(addr, length)
+
+    # -- bulk load ------------------------------------------------------------------
+
+    def bulk_load(self, pairs: Sequence[Tuple[int, int]],
+                  future_keys: Sequence[int] = ()) -> None:
+        pairs = list(pairs)
+        for (a, _), (b, _) in zip(pairs, pairs[1:]):
+            if a >= b:
+                raise IndexError_("bulk_load requires sorted unique keys")
+        if pairs and pairs[0][0] < 1:
+            raise IndexError_("keys must be >= 1")
+        loaded = dict(pairs)
+        all_keys = sorted(set(loaded) | set(future_keys))
+        self.model = PlaModel.train(all_keys, self.error)
+        per_leaf = max(1, int(self.span * self.bulk_load_factor))
+        self._items_per_leaf = per_leaf
+        chunks = [all_keys[i:i + per_leaf]
+                  for i in range(0, len(all_keys), per_leaf)] or [[]]
+        self.leaf_addrs = [self._host_alloc(self.leaf_layout.total_size)
+                           for _ in chunks]
+        bounds = [0] + [c[0] for c in chunks[1:]] + [MAX_KEY]
+        for index, chunk in enumerate(chunks):
+            items = [(key, loaded[key]) for key in chunk if key in loaded]
+            self._host_write_leaf(self.leaf_addrs[index], items,
+                                  bounds[index], bounds[index + 1])
+        self.loaded_items = len(pairs)
+
+    def _host_write_leaf(self, addr: int, items: Sequence[Tuple[int, int]],
+                         fence_low: int, fence_high: int) -> None:
+        layout = self.leaf_layout
+        table = HopscotchTable(self.span, self.neighborhood)
+        for key, value in items:
+            table.insert(key, value)
+        view = LeafNodeView.blank(layout, sibling=NULL_ADDR,
+                                  fence_low=fence_low,
+                                  fence_high=fence_high)
+        occupied = [False] * self.span
+        for pos in range(self.span):
+            key = table._keys[pos]
+            bitmap = table.bitmap(pos)
+            if key is not None:
+                view.write_entry(pos, key, table._values[pos],
+                                 bitmap=bitmap, bump_ev=False)
+                occupied[pos] = True
+            elif bitmap:
+                view.set_entry_bitmap(pos, bitmap, bump_ev=False)
+        self._host_write(addr, bytes(view.span.data))
+        word = pack_lock_word(False, view.argmax_key(),
+                              self.vacancy_map.compose(occupied))
+        self._host_write(addr + layout.lock_offset,
+                         encode_u64(word) + encode_key(fence_low)
+                         + encode_key(fence_high))
+
+    # -- prediction / accounting ---------------------------------------------------
+
+    def candidate_leaves(self, key: int) -> List[int]:
+        window = self.model.position_range(key)
+        lo = window.start // self._items_per_leaf
+        hi = min((window.stop - 1) // self._items_per_leaf,
+                 len(self.leaf_addrs) - 1)
+        return list(range(lo, hi + 1))
+
+    def covered_block(self, home: int) -> int:
+        """Which metadata replica a neighborhood read of *home* carries."""
+        if home % self.neighborhood == 0:
+            return home // self.neighborhood
+        if home + self.neighborhood > self.span:
+            return 0
+        return home // self.neighborhood + 1
+
+    def cache_bytes_needed(self) -> int:
+        model_bytes = self.model.cache_bytes if self.model else 0
+        return model_bytes + LEAF_ADDR_BYTES * len(self.leaf_addrs)
+
+    def collect_items(self) -> List[Tuple[int, int]]:
+        layout = self.leaf_layout
+        out: List[Tuple[int, int]] = []
+        for addr in self.leaf_addrs:
+            chain = addr
+            while chain != NULL_ADDR:
+                raw = self._host_read(chain, layout.raw_size)
+                view = LeafNodeView(layout, StripedSpan(raw, 0))
+                for _pos, key, value in view.items():
+                    out.append((key, value))
+                chain = view.replica_sibling(0)  # synonym pointer
+        out.sort()
+        return out
+
+
+class LearnedChimeClient(HopscotchLeafOpsMixin):
+    """Point operations routed by the model onto hopscotch leaves."""
+
+    def __init__(self, index: LearnedChimeIndex, ctx: ClientContext) -> None:
+        self.index = index
+        self.ctx = ctx
+        self.qp = ctx.qp
+        self.engine = ctx.engine
+        self.layout = index.leaf_layout
+        self.home_of = index.home_of
+        self._allocators: Dict[int, ChunkAllocator] = {}
+        self._alloc_rr = ctx.client_id
+
+    def _alloc(self, size: int) -> Generator:
+        mn_ids = sorted(self.index.cluster.mns)
+        mn_id = mn_ids[self._alloc_rr % len(mn_ids)]
+        self._alloc_rr += 1
+        allocator = self._allocators.get(mn_id)
+        if allocator is None:
+            allocator = ChunkAllocator(
+                self.qp, mn_id,
+                chunk_size=self.index.cluster.config.alloc_chunk_bytes)
+            self._allocators[mn_id] = allocator
+        addr = yield from allocator.alloc(size)
+        return addr
+
+    # ---------------------------------------------------------------- search
+
+    def search(self, key: int) -> Generator:
+        if self.ctx.combiner.enabled:
+            result = yield from self.ctx.combiner.read(
+                ("lchime-s", id(self.index), key), lambda: self._search(key))
+            return result
+        result = yield from self._search(key)
+        return result
+
+    def _search(self, key: int) -> Generator:
+        """Fetch one neighborhood from *each* candidate leaf (the defining
+        cost of CHIME-Learned, §5.3) in a single doorbell batch."""
+        home = self.home_of(key)
+        candidates = self.index.candidate_leaves(key)
+        segments = self.layout.neighborhood_segments(home)
+        covering: Optional[int] = None
+        for attempt in range(MAX_RETRIES):
+            views = []
+            for leaf_index in candidates:
+                leaf_addr = self.index.leaf_addrs[leaf_index]
+                view = yield from self._read_neighborhood_checked(leaf_addr,
+                                                                  home)
+                views.append((leaf_addr, view))
+            for leaf_addr, view in views:
+                position = self._find_in_neighborhood(view, home, key)
+                if position is not None:
+                    return view.entry(position).value
+                block = self.index.covered_block(home)
+                low, high = view.replica_fences(block)
+                if low <= key < high:
+                    covering = leaf_addr
+                    synonym = view.replica_sibling(block)
+                    while synonym != NULL_ADDR:
+                        syn_view = yield from self._read_neighborhood_checked(
+                            synonym, home)
+                        position = self._find_in_neighborhood(syn_view, home,
+                                                              key)
+                        if position is not None:
+                            return syn_view.entry(position).value
+                        synonym = syn_view.replica_sibling(block)
+            if covering is not None or not candidates:
+                return None
+            yield self.engine.timeout(backoff_delay(attempt))
+        return None
+
+    # ---------------------------------------------------------------- writes
+
+    def insert(self, key: int, value: int) -> Generator:
+        if key < 1:
+            raise IndexError_("keys must be >= 1")
+        result = yield from self._locked_write(key, value, delete=False,
+                                               upsert=True)
+        return result
+
+    def update(self, key: int, value: int) -> Generator:
+        if self.ctx.combiner.enabled:
+            result = yield from self.ctx.combiner.write(
+                ("lchime-u", id(self.index), key), value,
+                lambda v: self._locked_write(key, v, delete=False,
+                                             upsert=False))
+            return result
+        result = yield from self._locked_write(key, value, delete=False,
+                                               upsert=False)
+        return result
+
+    def delete(self, key: int) -> Generator:
+        result = yield from self._locked_write(key, 0, delete=True,
+                                               upsert=False)
+        return result
+
+    def _locate_base_leaf(self, key: int) -> Generator:
+        """The candidate leaf whose fences cover *key* (fence replicas
+        ride along with a neighborhood read)."""
+        home = self.home_of(key)
+        block = self.index.covered_block(home)
+        for leaf_index in self.index.candidate_leaves(key):
+            leaf_addr = self.index.leaf_addrs[leaf_index]
+            view = yield from self._read_neighborhood_checked(leaf_addr, home)
+            low, high = view.replica_fences(block)
+            if low <= key < high:
+                return leaf_addr
+        return None
+
+    def _locked_write(self, key: int, value: int, delete: bool,
+                      upsert: bool) -> Generator:
+        base_addr = yield from self._locate_base_leaf(key)
+        if base_addr is None:
+            return False
+        layout = self.layout
+        lock_addr = base_addr + layout.lock_offset
+        local = self.ctx.cn.local_lock(lock_addr)
+        if local is not None:
+            yield local.acquire()
+        try:
+            old_word = yield from self._acquire_remote(lock_addr)
+            guard = LockGuard(lock_addr, old_word)
+            try:
+                result = yield from self._write_chain(guard, base_addr, key,
+                                                      value, delete, upsert)
+                return result
+            except BaseException:
+                if guard.held:
+                    yield from self.qp.write(lock_addr,
+                                             encode_u64(guard.release_word()))
+                raise
+        finally:
+            if local is not None:
+                local.release()
+
+    def _acquire_remote(self, lock_addr: int) -> Generator:
+        for attempt in range(MAX_RETRIES):
+            old, swapped = yield from self.qp.masked_cas(
+                lock_addr, compare=0, swap=1, compare_mask=1,
+                swap_mask=0xFFFFFFFFFFFFFFFF)
+            if swapped:
+                return old
+            self.qp.stats.retries += 1
+            yield self.engine.timeout(backoff_delay(attempt))
+        raise IndexError_("leaf lock not acquired")
+
+    def _write_chain(self, guard: LockGuard, base_addr: int, key: int,
+                     value: int, delete: bool, upsert: bool) -> Generator:
+        """Walk base + synonym chain under the base lock.
+
+        The base leaf's lock covers the whole chain; synonym leaves' own
+        lock words only carry their vacancy metadata.
+        """
+        layout = self.layout
+        home = self.home_of(key)
+        block = self.index.covered_block(home)
+        chain_addr = base_addr
+        tail_addr = base_addr
+        tail_view = None
+        spacious: Optional[int] = None
+        while chain_addr != NULL_ADDR:
+            view = yield from self._fetch_leaf(chain_addr,
+                                               [layout.full_span()])
+            position = self._find_in_neighborhood(view, home, key)
+            if position is not None:
+                result = yield from self._modify_entry(
+                    guard, base_addr, chain_addr, view, position, home, key,
+                    value, delete)
+                return result
+            if spacious is None and not all(view.occupancy()):
+                spacious = chain_addr
+            tail_addr, tail_view = chain_addr, view
+            chain_addr = view.replica_sibling(block)
+        if delete or not upsert:
+            yield from self.qp.write(guard.lock_addr,
+                                     encode_u64(guard.release_word()))
+            return False
+        target = spacious if spacious is not None else None
+        if target is not None:
+            view = yield from self._fetch_leaf(target, [layout.full_span()])
+            done = yield from self._hop_insert(guard, base_addr, target,
+                                               view, home, key, value)
+            if done:
+                return True
+        # Chain full (or hop infeasible): append a fresh synonym leaf.
+        result = yield from self._append_synonym(guard, base_addr, tail_addr,
+                                                 tail_view, block, key, value)
+        return result
+
+    def _modify_entry(self, guard: LockGuard, base_addr: int,
+                      leaf_addr: int, view: LeafNodeView, position: int,
+                      home: int, key: int, value: int,
+                      delete: bool) -> Generator:
+        layout = self.layout
+        writes: List[Tuple[int, bytes]] = []
+        if delete:
+            view.clear_entry(position)
+            offset = distance(home, position, layout.span)
+            view.set_entry_bitmap(home,
+                                  view.entry(home).bitmap & ~(1 << offset))
+            for pos in {position, home}:
+                off = layout.entry_offset(pos)
+                raw_off, raw_bytes = view.span.sub_span(off,
+                                                        layout.entry_size)
+                writes.append((leaf_addr + raw_off, raw_bytes))
+        else:
+            view.write_entry(position, key, value)
+            off = layout.entry_offset(position)
+            raw_off, raw_bytes = view.span.sub_span(off, layout.entry_size)
+            writes.append((leaf_addr + raw_off, raw_bytes))
+        writes.append((guard.lock_addr, encode_u64(guard.release_word())))
+        yield from self.qp.write_batch(writes)
+        return True
+
+    def _hop_insert(self, guard: LockGuard, base_addr: int, leaf_addr: int,
+                    view: LeafNodeView, home: int, key: int,
+                    value: int) -> Generator:
+        """Hopscotch insertion into a fully fetched leaf image."""
+        layout = self.layout
+        occupancy = view.occupancy()
+        empty = None
+        for step in range(layout.span):
+            pos = (home + step) % layout.span
+            if not occupancy[pos]:
+                empty = pos
+                break
+        if empty is None:
+            return False
+
+        def home_of_pos(pos: int) -> Optional[int]:
+            entry = view.entry(pos)
+            return self.home_of(entry.key) if entry.occupied else None
+
+        plan = plan_insert(home, empty, layout.span, layout.neighborhood,
+                           home_of_pos)
+        if plan is None:
+            return False
+        modified = set()
+        for src, dst in plan.moves:
+            entry = view.entry(src)
+            src_home = self.home_of(entry.key)
+            view.write_entry(dst, entry.key, entry.value)
+            view.clear_entry(src)
+            bitmap = view.entry(src_home).bitmap
+            bitmap &= ~(1 << distance(src_home, src, layout.span))
+            bitmap |= 1 << distance(src_home, dst, layout.span)
+            view.set_entry_bitmap(src_home, bitmap)
+            modified.update((src, dst, src_home))
+        view.write_entry(plan.target, key, value)
+        view.set_entry_bitmap(
+            home, view.entry(home).bitmap
+            | (1 << distance(home, plan.target, layout.span)))
+        modified.update((plan.target, home))
+        writes: List[Tuple[int, bytes]] = []
+        for pos in sorted(modified):
+            off = layout.entry_offset(pos)
+            raw_off, raw_bytes = view.span.sub_span(off, layout.entry_size)
+            writes.append((leaf_addr + raw_off, raw_bytes))
+        writes.append((guard.lock_addr, encode_u64(guard.release_word())))
+        yield from self.qp.write_batch(writes)
+        return True
+
+    def _append_synonym(self, guard: LockGuard, base_addr: int,
+                        tail_addr: int, tail_view: LeafNodeView, block: int,
+                        key: int, value: int) -> Generator:
+        layout = self.layout
+        low, high = tail_view.replica_fences(0)
+        new_addr = yield from self._alloc(layout.total_size)
+        table_view = LeafNodeView.blank(layout, sibling=NULL_ADDR,
+                                        fence_low=low, fence_high=high)
+        home = self.home_of(key)
+        table_view.write_entry(home, key, value, bitmap=1, bump_ev=False)
+        occupied = [False] * layout.span
+        occupied[home] = True
+        word = pack_lock_word(False, home,
+                              self.index.vacancy_map.compose(occupied))
+        yield from self.qp.write_batch([
+            (new_addr, bytes(table_view.span.data)),
+            (new_addr + layout.lock_offset,
+             encode_u64(word) + encode_key(low) + encode_key(high)),
+        ])
+        # Publish the synonym in every replica of the tail via a full
+        # node write (NV bumped), batched with the unlock.  The image is
+        # rebuilt on a blank full-region span: a fetched span's raw base
+        # is 1 (the first line version byte is owned by the region), so
+        # its bytes must never be written back at raw offset 0.
+        old_nv = tail_view.span.nv_nibbles()[0]
+        rebuilt = LeafNodeView.blank(layout, sibling=new_addr,
+                                     fence_low=low, fence_high=high)
+        rebuilt.set_all_nv(bump_nibble(old_nv))
+        rebuilt.set_all_replicas(new_addr, low, high)
+        for pos in range(layout.span):
+            entry = tail_view.entry(pos)
+            if entry.occupied:
+                rebuilt.write_entry(pos, entry.key, entry.value,
+                                    bitmap=entry.bitmap, bump_ev=False)
+            elif entry.bitmap:
+                rebuilt.set_entry_bitmap(pos, entry.bitmap, bump_ev=False)
+        yield from self.qp.write_batch([
+            (tail_addr, bytes(rebuilt.span.data)),
+            (guard.lock_addr, encode_u64(guard.release_word())),
+        ])
+        return True

@@ -1,0 +1,374 @@
+"""Byte layouts of CHIME's internal and hopscotch leaf nodes.
+
+All offsets here are *logical* (payload) coordinates of a striped region
+(see :mod:`repro.layout.versions`); the raw on-MN image interleaves
+cache-line version bytes.  Each node also owns one trailing 64-byte cache
+line holding its 8-byte lock word, placed *outside* the striped region so
+atomics never race with version bytes (a small layout deviation from the
+paper's Figure 6, which draws the lock inside the node; behaviourally
+equivalent because the lock is only accessed via atomics and the unlock
+WRITE).
+
+Leaf layout with metadata replication (paper Figure 10)::
+
+    block 0: [replica][entry 0] ... [entry H-1]
+    block 1: [replica][entry H] ... [entry 2H-1]
+    ...
+
+where a replica is ``[valid:1][sibling:8][spare:1]`` (10 bytes) in
+sibling-validation mode, or additionally carries both fence keys when
+replicated fence keys are used instead (the Figure 16 comparison).
+
+The lock word packs (paper §4.2.1/§4.2.3)::
+
+    bit  0       lock
+    bits 1..10   argmax_keys  (entry index of the maximum key)
+    bits 11..63  vacancy bitmap (up to 53 bits, each covering >= 1 entries)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import LayoutError
+from repro.layout import versions
+from repro.memory.region import CACHE_LINE
+
+#: Lock-word field widths.
+LOCK_BIT = 0x1
+ARGMAX_SHIFT = 1
+ARGMAX_BITS = 10
+ARGMAX_MASK = ((1 << ARGMAX_BITS) - 1) << ARGMAX_SHIFT
+VACANCY_SHIFT = ARGMAX_SHIFT + ARGMAX_BITS
+VACANCY_BITS = 64 - VACANCY_SHIFT
+FULL_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def pack_lock_word(locked: bool, argmax: int, vacancy: int) -> int:
+    """Compose the 8-byte lock word."""
+    if argmax >= (1 << ARGMAX_BITS):
+        raise LayoutError(f"argmax {argmax} exceeds {ARGMAX_BITS} bits")
+    word = (1 if locked else 0)
+    word |= (argmax << ARGMAX_SHIFT) & ARGMAX_MASK
+    word |= (vacancy << VACANCY_SHIFT) & FULL_MASK
+    return word
+
+
+def unpack_lock_word(word: int) -> Tuple[bool, int, int]:
+    """Split the lock word into (locked, argmax, vacancy bitmap)."""
+    locked = bool(word & LOCK_BIT)
+    argmax = (word & ARGMAX_MASK) >> ARGMAX_SHIFT
+    vacancy = word >> VACANCY_SHIFT
+    return locked, argmax, vacancy
+
+
+class VacancyBitmap:
+    """Maps leaf entries onto the <= 53 vacancy bits of the lock word.
+
+    When the span exceeds the bit budget, each bit covers several entries
+    "as evenly as possible" (§4.2.1).  A bit is **set** when *every*
+    entry it covers is occupied, so a clear bit is a sound (possibly
+    coarse) signal that an empty entry exists in its coverage.
+    """
+
+    def __init__(self, span: int, bits: int = VACANCY_BITS) -> None:
+        self.span = span
+        self.bits = min(bits, span)
+
+    def bit_of(self, entry: int) -> int:
+        """Which vacancy bit covers *entry*."""
+        return entry * self.bits // self.span
+
+    def coverage(self, bit: int) -> range:
+        """The entry range covered by *bit*."""
+        start = -(-bit * self.span // self.bits)  # ceil division
+        end = -(-(bit + 1) * self.span // self.bits)
+        return range(start, min(end, self.span))
+
+    def compose(self, occupied: List[bool]) -> int:
+        """Build the bitmap from a per-entry occupancy list."""
+        if len(occupied) != self.span:
+            raise LayoutError("occupancy list length != span")
+        bitmap = 0
+        for bit in range(self.bits):
+            if all(occupied[e] for e in self.coverage(bit)):
+                bitmap |= 1 << bit
+        return bitmap
+
+    def first_maybe_empty(self, bitmap: int, home: int) -> int:
+        """First entry position (circular from *home*) that may be empty.
+
+        Returns -1 when every bit is set (node definitely full).
+        """
+        start_bit = self.bit_of(home)
+        for step in range(self.bits):
+            bit = (start_bit + step) % self.bits
+            if not (bitmap & (1 << bit)):
+                coverage = self.coverage(bit)
+                if step == 0 and home in coverage:
+                    # The empty slot could be before `home` inside this
+                    # bit's coverage; a probe must still start at `home`.
+                    return home
+                return coverage.start
+        return -1
+
+
+@dataclass(frozen=True)
+class InternalLayout:
+    """Logical layout of an internal node.
+
+    Header: ``[version:1][level:1][valid:1][count:2][fence_low:k]
+    [fence_high:k][sibling:8]``; entries: ``[version:1][pivot:k][child:8]``.
+    """
+
+    span: int
+    key_size: int = 8
+
+    @property
+    def header_size(self) -> int:
+        return 1 + 1 + 1 + 2 + 2 * self.key_size + 8
+
+    @property
+    def entry_size(self) -> int:
+        return 1 + self.key_size + 8
+
+    @property
+    def logical_size(self) -> int:
+        return self.header_size + self.span * self.entry_size
+
+    @property
+    def raw_size(self) -> int:
+        return versions.raw_size(self.logical_size)
+
+    @property
+    def total_size(self) -> int:
+        """Raw image + the trailing lock cache line."""
+        padded = -(-self.raw_size // CACHE_LINE) * CACHE_LINE
+        return padded + CACHE_LINE
+
+    @property
+    def lock_offset(self) -> int:
+        """Byte offset of the lock word from the node base (raw)."""
+        return self.total_size - CACHE_LINE
+
+    def entry_offset(self, index: int) -> int:
+        if not 0 <= index < self.span:
+            raise LayoutError(f"internal entry index {index} out of range")
+        return self.header_size + index * self.entry_size
+
+    # Header field offsets (logical).
+    OFF_VERSION = 0
+    OFF_LEVEL = 1
+    OFF_VALID = 2
+    OFF_COUNT = 3
+
+    @property
+    def off_fence_low(self) -> int:
+        return 5
+
+    @property
+    def off_fence_high(self) -> int:
+        return 5 + self.key_size
+
+    @property
+    def off_sibling(self) -> int:
+        return 5 + 2 * self.key_size
+
+
+@dataclass(frozen=True)
+class LeafLayout:
+    """Logical layout of a hopscotch leaf node.
+
+    ``replicated`` controls metadata replication (replica per block of H
+    entries) versus a single front header.  ``fence_keys`` switches the
+    replica/header format between sibling-validation (10 B) and
+    fence-key-replication (10 + 2k B) modes — the Figure 16 comparison.
+    """
+
+    span: int
+    neighborhood: int
+    key_size: int = 8
+    value_size: int = 8
+    replicated: bool = True
+    fence_keys: bool = False
+
+    def __post_init__(self) -> None:
+        if self.replicated and self.span % self.neighborhood:
+            raise LayoutError(
+                f"span {self.span} must be a multiple of neighborhood "
+                f"{self.neighborhood} for metadata replication")
+
+    # -- sizes ----------------------------------------------------------------
+
+    @property
+    def replica_size(self) -> int:
+        base = 1 + 8 + 1  # valid + sibling + spare
+        if self.fence_keys:
+            base += 2 * self.key_size
+        return base
+
+    @property
+    def entry_size(self) -> int:
+        return 1 + 2 + self.key_size + self.value_size  # version+bitmap+k+v
+
+    @property
+    def num_blocks(self) -> int:
+        if not self.replicated:
+            return 1
+        return self.span // self.neighborhood
+
+    @property
+    def block_size(self) -> int:
+        return self.replica_size + self.neighborhood * self.entry_size
+
+    @property
+    def logical_size(self) -> int:
+        if self.replicated:
+            return self.num_blocks * self.block_size
+        return self.replica_size + self.span * self.entry_size
+
+    @property
+    def raw_size(self) -> int:
+        return versions.raw_size(self.logical_size)
+
+    @property
+    def total_size(self) -> int:
+        padded = -(-self.raw_size // CACHE_LINE) * CACHE_LINE
+        return padded + CACHE_LINE
+
+    @property
+    def lock_offset(self) -> int:
+        return self.total_size - CACHE_LINE
+
+    # -- positions --------------------------------------------------------------
+
+    def block_of(self, entry: int) -> int:
+        return entry // self.neighborhood if self.replicated else 0
+
+    def replica_offset(self, block: int) -> int:
+        if not self.replicated:
+            if block != 0:
+                raise LayoutError("unreplicated layout has a single header")
+            return 0
+        return block * self.block_size
+
+    def entry_offset(self, index: int) -> int:
+        if not 0 <= index < self.span:
+            raise LayoutError(f"leaf entry index {index} out of range")
+        if self.replicated:
+            block, within = divmod(index, self.neighborhood)
+            return block * self.block_size + self.replica_size \
+                + within * self.entry_size
+        return self.replica_size + index * self.entry_size
+
+    # Entry field offsets (relative to entry start).
+    ENTRY_OFF_VERSION = 0
+    ENTRY_OFF_BITMAP = 1
+    ENTRY_OFF_KEY = 3
+
+    @property
+    def entry_off_value(self) -> int:
+        return 3 + self.key_size
+
+    # Replica field offsets (relative to replica start).
+    REPLICA_OFF_VALID = 0
+    REPLICA_OFF_SIBLING = 1
+
+    @property
+    def replica_off_fence_low(self) -> int:
+        if not self.fence_keys:
+            raise LayoutError("layout has no fence keys")
+        return 9
+
+    @property
+    def replica_off_fence_high(self) -> int:
+        return 9 + self.key_size
+
+    # -- read spans -------------------------------------------------------------
+
+    def neighborhood_segments(self, home: int) -> List[Tuple[int, int]]:
+        """Logical (offset, length) segments covering the neighborhood of
+        *home* plus a replica (encompassed or adjacent, §4.2.2).
+
+        One segment normally; two when the neighborhood wraps around the
+        end of the table (read with doorbell batching, §4.4).
+        """
+        if not self.replicated:
+            # Entries only; the header needs its own dedicated access.
+            return self._entry_segments(home, self.neighborhood)
+        segments: List[Tuple[int, int]] = []
+        end = home + self.neighborhood
+        if end <= self.span:
+            if home % self.neighborhood == 0:
+                start = self.replica_offset(self.block_of(home))
+            else:
+                start = self.entry_offset(home)
+            stop = self.entry_offset(end - 1) + self.entry_size
+            segments.append((start, stop - start))
+        else:
+            # Wrap-around: tail segment + head segment (head starts at
+            # replica 0, so a replica is always covered).
+            start = self.entry_offset(home)
+            stop = self.entry_offset(self.span - 1) + self.entry_size
+            segments.append((start, stop - start))
+            head_stop = self.entry_offset(end - self.span - 1) + self.entry_size
+            segments.append((0, head_stop))
+        return segments
+
+    def _entry_segments(self, home: int, count: int) -> List[Tuple[int, int]]:
+        segments = []
+        end = home + count
+        if end <= self.span:
+            start = self.entry_offset(home)
+            stop = self.entry_offset(end - 1) + self.entry_size
+            segments.append((start, stop - start))
+        else:
+            start = self.entry_offset(home)
+            stop = self.entry_offset(self.span - 1) + self.entry_size
+            segments.append((start, stop - start))
+            stop2 = self.entry_offset(end - self.span - 1) + self.entry_size
+            segments.append((self.entry_offset(0) if not self.replicated else 0,
+                             stop2 - (self.entry_offset(0)
+                                      if not self.replicated else 0)))
+        return segments
+
+    def range_segments(self, first: int, last: int) -> List[Tuple[int, int]]:
+        """Logical segments covering entries [first..last] (circular) plus
+        the replica of *first*'s block (for half-split detection).
+        """
+        if first <= last:
+            if self.replicated:
+                start = self.replica_offset(self.block_of(first))
+            else:
+                start = self.entry_offset(first)
+            stop = self.entry_offset(last) + self.entry_size
+            return [(start, stop - start)]
+        # Wrapped: [first .. span-1] then [0 .. last].  The head segment
+        # starts at logical 0 and therefore carries block 0's replica, so
+        # the tail segment starts at the first entry directly — starting
+        # it at the block replica could overlap the head segment, and
+        # overlapping fetched segments must never exist (writes would
+        # route ambiguously).
+        start = self.entry_offset(first)
+        stop = self.entry_offset(self.span - 1) + self.entry_size
+        head_stop = self.entry_offset(last) + self.entry_size
+        return [(start, stop - start), (0, head_stop)]
+
+    def entries_covered_by_range(self, first: int, last: int) -> set:
+        """Entry indices whose bytes :meth:`range_segments` fully fetches.
+
+        A non-wrapped segment starts at the replica of *first*'s block, so
+        it also covers the entries between the block start and *first*.
+        """
+        if first <= last:
+            start_entry = (self.block_of(first) * self.neighborhood
+                           if self.replicated else first)
+            return set(range(start_entry, last + 1))
+        # Wrapped: the tail segment starts at *first* itself (the head
+        # segment carries block 0's replica).
+        return set(range(first, self.span)) | set(range(0, last + 1))
+
+    def full_span(self) -> Tuple[int, int]:
+        """The whole logical payload as one segment."""
+        return (0, self.logical_size)

@@ -1,0 +1,367 @@
+"""Typed views over node byte images.
+
+A *view* wraps a :class:`~repro.layout.versions.StripedSpan` (full node or
+partial fetch) plus its layout, and exposes field-level accessors.  Views
+are used on both sides of the wire: clients parse fetched spans and
+compose write-back payloads through them; bulk loading composes whole
+images host-side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.node_layout import InternalLayout, LeafLayout
+from repro.layout import (
+    StripedSpan,
+    decode_key,
+    decode_u16,
+    decode_u64,
+    decode_value,
+    encode_key,
+    encode_u16,
+    encode_u64,
+    encode_value,
+    pack_version,
+    unpack_version,
+)
+from repro.layout.versions import bump_nibble
+from repro.memory.region import NULL_ADDR
+
+
+@dataclass
+class ParsedInternal:
+    """A decoded internal node (also the cache representation)."""
+
+    addr: int
+    level: int
+    valid: bool
+    count: int
+    fence_low: int
+    fence_high: int
+    sibling: int
+    pivots: List[int]
+    children: List[int]
+    #: Node-level version observed at parse time; the next writer bumps it.
+    nv: int = 0
+
+    def find_child(self, key: int) -> Tuple[int, int]:
+        """(entry index, child address) whose pivot range covers *key*.
+
+        Entries are sorted; returns the last entry with pivot <= key.
+        """
+        lo, hi = 0, self.count - 1
+        pos = 0
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if self.pivots[mid] <= key:
+                pos = mid
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return pos, self.children[pos]
+
+    def next_child(self, index: int) -> Optional[int]:
+        """Child pointer after *index* (used by sibling-based validation)."""
+        if index + 1 < self.count:
+            return self.children[index + 1]
+        return None
+
+    def covers(self, key: int) -> bool:
+        return self.fence_low <= key < self.fence_high
+
+
+class InternalNodeView:
+    """Accessor over an internal node's striped image."""
+
+    def __init__(self, layout: InternalLayout, span: StripedSpan) -> None:
+        self.layout = layout
+        self.span = span
+
+    # -- composition ------------------------------------------------------------
+
+    @classmethod
+    def compose(cls, layout: InternalLayout, level: int, fence_low: int,
+                fence_high: int, sibling: int,
+                entries: List[Tuple[int, int]], nv: int = 0,
+                valid: bool = True) -> "InternalNodeView":
+        """Build a fresh full-node image with uniform versions."""
+        view = cls(layout, StripedSpan.blank(layout.logical_size))
+        sp = view.span
+        byte = pack_version(nv, 0)
+        sp.set_all_versions(nv, 0)
+        sp.write_logical(layout.OFF_VERSION, bytes([byte]))
+        sp.write_logical(layout.OFF_LEVEL, bytes([level]))
+        sp.write_logical(layout.OFF_VALID, bytes([1 if valid else 0]))
+        sp.write_logical(layout.OFF_COUNT, encode_u16(len(entries)))
+        sp.write_logical(layout.off_fence_low, encode_key(fence_low))
+        sp.write_logical(layout.off_fence_high, encode_key(fence_high))
+        sp.write_logical(layout.off_sibling, encode_u64(sibling))
+        for index in range(layout.span):
+            off = layout.entry_offset(index)
+            sp.write_logical(off, bytes([byte]))
+            if index < len(entries):
+                pivot, child = entries[index]
+                sp.write_logical(off + 1, encode_key(pivot))
+                sp.write_logical(off + 1 + layout.key_size, encode_u64(child))
+        return view
+
+    # -- field access -------------------------------------------------------------
+
+    @property
+    def level(self) -> int:
+        return self.span.read_logical(self.layout.OFF_LEVEL, 1)[0]
+
+    @property
+    def valid(self) -> bool:
+        return bool(self.span.read_logical(self.layout.OFF_VALID, 1)[0])
+
+    @property
+    def count(self) -> int:
+        return decode_u16(self.span.read_logical(self.layout.OFF_COUNT, 2))
+
+    @property
+    def fence_low(self) -> int:
+        return decode_key(self.span.read_logical(self.layout.off_fence_low,
+                                                 self.layout.key_size))
+
+    @property
+    def fence_high(self) -> int:
+        return decode_key(self.span.read_logical(self.layout.off_fence_high,
+                                                 self.layout.key_size))
+
+    @property
+    def sibling(self) -> int:
+        return decode_u64(self.span.read_logical(self.layout.off_sibling, 8))
+
+    def entry(self, index: int) -> Tuple[int, int]:
+        off = self.layout.entry_offset(index)
+        pivot = decode_key(self.span.read_logical(off + 1, self.layout.key_size))
+        child = decode_u64(self.span.read_logical(
+            off + 1 + self.layout.key_size, 8))
+        return pivot, child
+
+    # -- consistency ---------------------------------------------------------------
+
+    def nv_values(self) -> List[int]:
+        """Every NV nibble in the image (line bytes + header + entries)."""
+        values = list(self.span.nv_nibbles())
+        header_byte = self.span.read_logical(self.layout.OFF_VERSION, 1)[0]
+        values.append(unpack_version(header_byte)[0])
+        for index in range(self.layout.span):
+            byte = self.span.read_logical(self.layout.entry_offset(index), 1)[0]
+            values.append(unpack_version(byte)[0])
+        return values
+
+    def is_consistent(self) -> bool:
+        return len(set(self.nv_values())) <= 1
+
+    def parse(self, addr: int) -> ParsedInternal:
+        count = self.count
+        pivots: List[int] = []
+        children: List[int] = []
+        for index in range(count):
+            pivot, child = self.entry(index)
+            pivots.append(pivot)
+            children.append(child)
+        header_byte = self.span.read_logical(self.layout.OFF_VERSION, 1)[0]
+        return ParsedInternal(
+            addr=addr, level=self.level, valid=self.valid, count=count,
+            fence_low=self.fence_low, fence_high=self.fence_high,
+            sibling=self.sibling, pivots=pivots, children=children,
+            nv=unpack_version(header_byte)[0])
+
+
+@dataclass
+class LeafEntry:
+    """One decoded leaf entry (key 0 means empty, keys are >= 1)."""
+
+    index: int
+    version_byte: int
+    bitmap: int
+    key: int
+    value: int
+
+    @property
+    def occupied(self) -> bool:
+        return self.key != 0
+
+
+class LeafNodeView:
+    """Accessor over a hopscotch leaf's striped image (full or partial)."""
+
+    def __init__(self, layout: LeafLayout, span: StripedSpan) -> None:
+        self.layout = layout
+        self.span = span
+
+    # -- composition -------------------------------------------------------------
+
+    @classmethod
+    def blank(cls, layout: LeafLayout, sibling: int = NULL_ADDR,
+              fence_low: int = 0, fence_high: int = 0,
+              nv: int = 0) -> "LeafNodeView":
+        """A fresh empty leaf image with uniform versions and metadata."""
+        view = cls(layout, StripedSpan.blank(layout.logical_size))
+        sp = view.span
+        sp.set_all_versions(nv, 0)
+        byte = pack_version(nv, 0)
+        for block in range(layout.num_blocks):
+            view.write_replica(block, sibling, fence_low, fence_high)
+        for index in range(layout.span):
+            sp.write_logical(layout.entry_offset(index), bytes([byte]))
+        return view
+
+    def write_replica(self, block: int, sibling: int,
+                      fence_low: int = 0, fence_high: int = 0) -> None:
+        layout = self.layout
+        off = layout.replica_offset(block)
+        self.span.write_logical(off + layout.REPLICA_OFF_VALID, b"\x01")
+        self.span.write_logical(off + layout.REPLICA_OFF_SIBLING,
+                                encode_u64(sibling))
+        if layout.fence_keys:
+            self.span.write_logical(off + layout.replica_off_fence_low,
+                                    encode_key(fence_low))
+            self.span.write_logical(off + layout.replica_off_fence_high,
+                                    encode_key(fence_high))
+
+    def set_all_replicas(self, sibling: int, fence_low: int = 0,
+                         fence_high: int = 0, valid: bool = True) -> None:
+        layout = self.layout
+        for block in range(layout.num_blocks):
+            off = layout.replica_offset(block)
+            self.span.write_logical(off + layout.REPLICA_OFF_VALID,
+                                    bytes([1 if valid else 0]))
+            self.span.write_logical(off + layout.REPLICA_OFF_SIBLING,
+                                    encode_u64(sibling))
+            if layout.fence_keys:
+                self.span.write_logical(off + layout.replica_off_fence_low,
+                                        encode_key(fence_low))
+                self.span.write_logical(off + layout.replica_off_fence_high,
+                                        encode_key(fence_high))
+
+    # -- replica access ------------------------------------------------------------
+
+    def replica_valid(self, block: int) -> bool:
+        off = self.layout.replica_offset(block)
+        return bool(self.span.read_logical(
+            off + self.layout.REPLICA_OFF_VALID, 1)[0])
+
+    def replica_sibling(self, block: int) -> int:
+        off = self.layout.replica_offset(block)
+        return decode_u64(self.span.read_logical(
+            off + self.layout.REPLICA_OFF_SIBLING, 8))
+
+    def replica_fences(self, block: int) -> Tuple[int, int]:
+        layout = self.layout
+        off = layout.replica_offset(block)
+        low = decode_key(self.span.read_logical(
+            off + layout.replica_off_fence_low, layout.key_size))
+        high = decode_key(self.span.read_logical(
+            off + layout.replica_off_fence_high, layout.key_size))
+        return low, high
+
+    # -- entry access ----------------------------------------------------------------
+
+    def entry(self, index: int) -> LeafEntry:
+        layout = self.layout
+        off = layout.entry_offset(index)
+        data = self.span.read_logical(off, layout.entry_size)
+        return LeafEntry(
+            index=index,
+            version_byte=data[0],
+            bitmap=decode_u16(data, 1),
+            key=decode_key(data, 3),
+            value=decode_value(data, 3 + layout.key_size,
+                               size=layout.value_size),
+        )
+
+    def write_entry(self, index: int, key: int, value: int,
+                    bitmap: Optional[int] = None,
+                    bump_ev: bool = True) -> None:
+        """Rewrite entry payload; bumps its EVs unless told otherwise."""
+        layout = self.layout
+        off = layout.entry_offset(index)
+        if bitmap is None:
+            bitmap = self.entry(index).bitmap
+        if bump_ev:
+            self.bump_entry_ev(index)
+        payload = (encode_u16(bitmap) + encode_key(key)
+                   + encode_value(value, layout.value_size))
+        self.span.write_logical(off + 1, payload)
+
+    def clear_entry(self, index: int, bump_ev: bool = True) -> None:
+        """Empty the entry (key 0), preserving its hopscotch bitmap."""
+        bitmap = self.entry(index).bitmap
+        self.write_entry(index, 0, 0, bitmap=bitmap, bump_ev=bump_ev)
+
+    def set_entry_bitmap(self, index: int, bitmap: int,
+                         bump_ev: bool = True) -> None:
+        layout = self.layout
+        off = layout.entry_offset(index)
+        if bump_ev:
+            self.bump_entry_ev(index)
+        self.span.write_logical(off + layout.ENTRY_OFF_BITMAP,
+                                encode_u16(bitmap))
+
+    def bump_entry_ev(self, index: int) -> None:
+        """Increment every EV nibble inside the entry's span (version byte
+        plus any covered line version bytes) in lockstep."""
+        layout = self.layout
+        off = layout.entry_offset(index)
+        byte = self.span.read_logical(off, 1)[0]
+        nv, ev = unpack_version(byte)
+        self.span.write_logical(off, bytes([pack_version(nv, bump_nibble(ev))]))
+        self.span.bump_entry_versions(off, layout.entry_size)
+
+    def entry_evs(self, index: int) -> List[int]:
+        """All EV nibbles within one entry's span (for consistency checks)."""
+        layout = self.layout
+        off = layout.entry_offset(index)
+        byte = self.span.read_logical(off, 1)[0]
+        values = [unpack_version(byte)[1]]
+        values.extend(self.span.entry_ev_nibbles(off, layout.entry_size))
+        return values
+
+    def entry_nv(self, index: int) -> int:
+        off = self.layout.entry_offset(index)
+        return unpack_version(self.span.read_logical(off, 1)[0])[0]
+
+    # -- whole-node helpers -------------------------------------------------------------
+
+    def occupancy(self) -> List[bool]:
+        """Per-entry occupancy of a full-node image."""
+        return [self.entry(i).occupied for i in range(self.layout.span)]
+
+    def items(self) -> List[Tuple[int, int, int]]:
+        """(position, key, value) of occupied entries in a full image."""
+        out = []
+        for index in range(self.layout.span):
+            entry = self.entry(index)
+            if entry.occupied:
+                out.append((index, entry.key, entry.value))
+        return out
+
+    def argmax_key(self) -> int:
+        """Entry index holding the maximum key (0 when node is empty)."""
+        best_index, best_key = 0, -1
+        for index in range(self.layout.span):
+            entry = self.entry(index)
+            if entry.occupied and entry.key > best_key:
+                best_index, best_key = index, entry.key
+        return best_index
+
+    def set_all_nv(self, nv: int) -> None:
+        """Node-write semantics: bump every NV nibble, reset every EV."""
+        self.span.set_all_versions(nv, 0)
+        byte = pack_version(nv, 0)
+        for index in range(self.layout.span):
+            self.span.write_logical(self.layout.entry_offset(index),
+                                    bytes([byte]))
+
+    def nv_values(self) -> List[int]:
+        """NV nibbles of line bytes + entry bytes present in this span."""
+        values = list(self.span.nv_nibbles())
+        # Entry bytes only for entries fully inside the span; partial
+        # views use per-entry accessors instead.
+        return values

@@ -1,0 +1,84 @@
+"""Three-level optimistic synchronization — the reader-side checks (§4.1).
+
+Writers maintain versions through :class:`~repro.core.nodes.LeafNodeView`
+/ :class:`~repro.core.nodes.InternalNodeView`; this module holds what a
+lock-free reader does with a fetched span:
+
+1. **node-level check** — every NV nibble in the fetched span(s) must
+   agree, else a node write was torn across the read;
+2. **entry-level check** — within each fetched entry, all EV nibbles must
+   agree, else an entry/hop write was torn inside the entry;
+3. **bitmap check** — the hopscotch bitmap stored in the home entry must
+   equal the bitmap reconstructed from the actual keys fetched, else the
+   read interleaved with an in-flight hop (§4.1.2).
+
+A failed check raises :class:`~repro.errors.TornReadError`; operations
+catch it and retry with backoff.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.core.nodes import LeafNodeView
+from repro.errors import TornReadError
+
+#: Retry budget for optimistic reads and remote lock acquisition.
+MAX_RETRIES = 256
+
+#: Base backoff between retries, in seconds (grows linearly per attempt).
+RETRY_BACKOFF = 0.2e-6
+
+
+def backoff_delay(attempt: int) -> float:
+    """Linearly growing backoff, capped at 16x the base."""
+    return RETRY_BACKOFF * min(attempt + 1, 16)
+
+
+def check_nv_uniform(nv_values: Iterable[int]) -> None:
+    """Level 1: all node-level version nibbles must match."""
+    values = set(nv_values)
+    if len(values) > 1:
+        raise TornReadError(f"node-level versions disagree: {sorted(values)}")
+
+
+def check_entry_evs(view: LeafNodeView, indices: Sequence[int]) -> None:
+    """Level 2: EV nibbles within each fetched entry must match."""
+    for index in indices:
+        evs = set(view.entry_evs(index))
+        if len(evs) > 1:
+            raise TornReadError(
+                f"entry {index} entry-level versions disagree: {sorted(evs)}")
+
+
+def reconstruct_bitmap(view: LeafNodeView, home: int,
+                       hash_home) -> int:
+    """Rebuild status(keys): which neighborhood entries hold keys whose
+    home is *home*, from the actual fetched keys."""
+    layout = view.layout
+    bitmap = 0
+    for offset in range(layout.neighborhood):
+        pos = (home + offset) % layout.span
+        entry = view.entry(pos)
+        if entry.occupied and hash_home(entry.key) == home:
+            bitmap |= 1 << offset
+    return bitmap
+
+
+def check_hopscotch_bitmap(view: LeafNodeView, home: int, hash_home) -> None:
+    """Level 3: fetched home bitmap must equal the reconstructed one."""
+    stored = view.entry(home).bitmap
+    actual = reconstruct_bitmap(view, home, hash_home)
+    if stored != actual:
+        raise TornReadError(
+            f"hopscotch bitmap of home {home} is {stored:#06x}, keys say "
+            f"{actual:#06x} (in-flight hop)")
+
+
+def collect_leaf_nv(view: LeafNodeView, indices: Sequence[int]) -> List[int]:
+    """NV nibbles visible in a partial leaf view: line bytes + the version
+    bytes of the given (fully fetched) entries."""
+    values = list(view.span.nv_nibbles())
+    for index in indices:
+        values.append(view.entry_nv(index))
+    return values

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+applications can catch library failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """An inconsistency inside the discrete-event simulation engine."""
+
+
+class MemoryAccessError(ReproError):
+    """An RDMA verb addressed memory outside any registered region."""
+
+
+class AllocationError(ReproError):
+    """The memory pool could not satisfy an allocation request."""
+
+
+class LayoutError(ReproError):
+    """A node byte layout could not be encoded or decoded."""
+
+
+class TornReadError(ReproError):
+    """A read observed an inconsistent (torn) state.
+
+    Raised internally by optimistic-synchronization checks; index
+    operations catch it and retry.  It escaping to user code means a
+    retry loop is missing.
+    """
+
+
+class IndexError_(ReproError):
+    """Base class for index-level failures (name avoids shadowing builtins)."""
+
+
+class KeyNotFoundError(IndexError_):
+    """A search/update/delete addressed a key that is not in the index."""
+
+
+class DuplicateKeyError(IndexError_):
+    """An insert addressed a key that is already present."""
+
+
+class HashTableFullError(IndexError_):
+    """A hopscotch insertion found no empty entry and no feasible hop."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification is invalid."""

@@ -1,0 +1,82 @@
+"""Associative-bucket hashing (the closed-addressing strawman of §3.1.2).
+
+Each key hashes to exactly one bucket of ``bucket_size`` entries; an
+insert fails as soon as its bucket is full.  The read amplification
+factor equals the bucket size (a search fetches the whole bucket).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import HashTableFullError
+from repro.hashing.hopscotch import default_hash
+
+
+class AssociativeTable:
+    """One-choice associative hashing over ``capacity`` entries."""
+
+    def __init__(self, capacity: int, bucket_size: int = 4,
+                 hash_fn: Optional[Callable[[int, int], int]] = None) -> None:
+        if capacity % bucket_size:
+            raise HashTableFullError(
+                f"capacity {capacity} not a multiple of bucket {bucket_size}")
+        self.capacity = capacity
+        self.bucket_size = bucket_size
+        self.num_buckets = capacity // bucket_size
+        self._hash = hash_fn or default_hash
+        self._keys: List[Optional[int]] = [None] * capacity
+        self._values: List[Optional[object]] = [None] * capacity
+        self.size = 0
+
+    @property
+    def load_factor(self) -> float:
+        return self.size / self.capacity
+
+    @property
+    def amplification_factor(self) -> int:
+        """Entries fetched per point lookup."""
+        return self.bucket_size
+
+    def _bucket(self, key: int) -> int:
+        return self._hash(key, self.num_buckets)
+
+    def _slots(self, bucket: int):
+        start = bucket * self.bucket_size
+        return range(start, start + self.bucket_size)
+
+    def insert(self, key: int, value: object) -> None:
+        bucket = self._bucket(key)
+        for slot in self._slots(bucket):
+            if self._keys[slot] == key:
+                self._values[slot] = value
+                return
+        for slot in self._slots(bucket):
+            if self._keys[slot] is None:
+                self._keys[slot] = key
+                self._values[slot] = value
+                self.size += 1
+                return
+        raise HashTableFullError(f"bucket {bucket} full")
+
+    def lookup(self, key: int):
+        for slot in self._slots(self._bucket(key)):
+            if self._keys[slot] == key:
+                return self._values[slot]
+        raise KeyError(key)
+
+    def __contains__(self, key: int) -> bool:
+        try:
+            self.lookup(key)
+            return True
+        except KeyError:
+            return False
+
+    def delete(self, key: int) -> None:
+        for slot in self._slots(self._bucket(key)):
+            if self._keys[slot] == key:
+                self._keys[slot] = None
+                self._values[slot] = None
+                self.size -= 1
+                return
+        raise KeyError(key)

@@ -1,0 +1,125 @@
+"""FaRM's chained associative hopscotch hashing (NSDI '14), chain disabled.
+
+FaRM fixes the hopscotch neighborhood to **two associative buckets**; a
+key hashing to bucket ``b`` may live in bucket ``b`` or ``b+1``.  The
+original design chains an overflow block per bucket, which the CHIME paper
+disables as DM-unfriendly (§3.1.2) — we do the same.  A search fetches the
+two buckets, so the amplification factor is ``2 × bucket_size``.
+
+Inserts displace like hopscotch: if both buckets are full, some resident
+key whose *other* bucket has space is moved there (recursively, bounded).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import HashTableFullError
+from repro.hashing.hopscotch import default_hash
+
+#: Bound on recursive displacement depth during insertion.  Kept small:
+#: FaRM performs a short hop search, not an exhaustive backtracking one,
+#: and the search space grows exponentially with depth.
+MAX_DISPLACEMENT_DEPTH = 2
+
+#: Marks a slot as transiently occupied while its resident is re-homed,
+#: so recursive placement cannot re-use it.
+_RESERVED = object()
+
+
+class FarmTable:
+    """FaRM-style hopscotch with a neighborhood of two buckets."""
+
+    def __init__(self, capacity: int, bucket_size: int = 4,
+                 hash_fn: Optional[Callable[[int, int], int]] = None) -> None:
+        if capacity % bucket_size:
+            raise HashTableFullError(
+                f"capacity {capacity} not a multiple of bucket {bucket_size}")
+        self.capacity = capacity
+        self.bucket_size = bucket_size
+        self.num_buckets = capacity // bucket_size
+        if self.num_buckets < 2:
+            raise HashTableFullError("need at least two buckets")
+        self._hash = hash_fn or default_hash
+        self._keys: List[Optional[int]] = [None] * capacity
+        self._values: List[Optional[object]] = [None] * capacity
+        self.size = 0
+
+    @property
+    def load_factor(self) -> float:
+        return self.size / self.capacity
+
+    @property
+    def amplification_factor(self) -> int:
+        """Entries fetched per point lookup (two buckets)."""
+        return 2 * self.bucket_size
+
+    def _home(self, key: int) -> int:
+        return self._hash(key, self.num_buckets)
+
+    def _slots(self, bucket: int):
+        start = (bucket % self.num_buckets) * self.bucket_size
+        return range(start, start + self.bucket_size)
+
+    def _neighborhood(self, key: int):
+        home = self._home(key)
+        yield from self._slots(home)
+        yield from self._slots(home + 1)
+
+    def insert(self, key: int, value: object) -> None:
+        for slot in self._neighborhood(key):
+            if self._keys[slot] == key:
+                self._values[slot] = value
+                return
+        if self._try_place(key, value, depth=0):
+            self.size += 1
+            return
+        raise HashTableFullError(f"no space or displacement for key {key}")
+
+    def _try_place(self, key: int, value: object, depth: int) -> bool:
+        for slot in self._neighborhood(key):
+            if self._keys[slot] is None:
+                self._keys[slot] = key
+                self._values[slot] = value
+                return True
+        if depth >= MAX_DISPLACEMENT_DEPTH:
+            return False
+        # Displace a resident whose other bucket differs from where it sits.
+        home = self._home(key)
+        for bucket in (home, home + 1):
+            for slot in self._slots(bucket):
+                resident = self._keys[slot]
+                if resident is _RESERVED:
+                    continue
+                resident_value = self._values[slot]
+                self._keys[slot] = _RESERVED  # recursion must not reuse it
+                self._values[slot] = None
+                if self._try_place(resident, resident_value, depth + 1):
+                    self._keys[slot] = key
+                    self._values[slot] = value
+                    return True
+                self._keys[slot] = resident  # undo
+                self._values[slot] = resident_value
+        return False
+
+    def lookup(self, key: int):
+        for slot in self._neighborhood(key):
+            if self._keys[slot] == key:
+                return self._values[slot]
+        raise KeyError(key)
+
+    def __contains__(self, key: int) -> bool:
+        try:
+            self.lookup(key)
+            return True
+        except KeyError:
+            return False
+
+    def delete(self, key: int) -> None:
+        for slot in self._neighborhood(key):
+            if self._keys[slot] == key:
+                self._keys[slot] = None
+                self._values[slot] = None
+                self.size -= 1
+                return
+        raise KeyError(key)

@@ -1,0 +1,87 @@
+"""Maximum-load-factor measurement for hashing schemes (Figure 3d).
+
+The *maximum load factor* is the fraction of entries filled when the
+first insertion fails, averaged over independent trials with random keys.
+The paper evaluates tables of 128 entries; the harness takes table
+factories so CHIME's leaf-span sweeps (Figures 19a/19b) reuse it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.errors import HashTableFullError
+from repro.hashing.associative import AssociativeTable
+from repro.hashing.farm import FarmTable
+from repro.hashing.hopscotch import HopscotchTable
+from repro.hashing.race import RaceTable
+
+
+@dataclass(frozen=True)
+class LoadFactorResult:
+    """Outcome of one scheme's measurement."""
+
+    scheme: str
+    amplification_factor: int
+    max_load_factor: float
+    trials: int
+
+
+def measure_max_load_factor(table_factory: Callable[[], object],
+                            trials: int = 20, seed: int = 7) -> float:
+    """Average load factor at first insertion failure across *trials*."""
+    rng = random.Random(seed)
+    total = 0.0
+    for _ in range(trials):
+        table = table_factory()
+        while True:
+            key = rng.getrandbits(60)
+            try:
+                table.insert(key, key)
+            except HashTableFullError:
+                break
+        total += table.load_factor
+    return total / trials
+
+
+def figure_3d_schemes(capacity: int = 128,
+                      bucket_size: int = 4,
+                      neighborhoods: tuple = (2, 4, 8, 16)) -> List[LoadFactorResult]:
+    """The scheme matrix of Figure 3d: load factor vs amplification.
+
+    Hopscotch appears once per neighborhood size (its amplification is the
+    neighborhood size); the bucket-based schemes once per bucket size.
+    """
+    results: List[LoadFactorResult] = []
+    for neighborhood in neighborhoods:
+        factor = measure_max_load_factor(
+            lambda n=neighborhood: HopscotchTable(capacity, n))
+        results.append(LoadFactorResult(
+            scheme=f"hopscotch(H={neighborhood})",
+            amplification_factor=neighborhood,
+            max_load_factor=factor, trials=20))
+    for size in (2, 4, 8):
+        factor = measure_max_load_factor(
+            lambda s=size: AssociativeTable(capacity, s))
+        results.append(LoadFactorResult(
+            scheme=f"associative(B={size})",
+            amplification_factor=size,
+            max_load_factor=factor, trials=20))
+        factor = measure_max_load_factor(
+            lambda s=size: FarmTable(capacity, s))
+        results.append(LoadFactorResult(
+            scheme=f"farm(B={size})",
+            amplification_factor=2 * size,
+            max_load_factor=factor, trials=20))
+    for size in (2, 4):
+        group = 3 * size
+        race_capacity = (capacity // group) * group
+        factor = measure_max_load_factor(
+            lambda s=size, c=race_capacity: RaceTable(c, s))
+        results.append(LoadFactorResult(
+            scheme=f"race(B={size})",
+            amplification_factor=4 * size,
+            max_load_factor=factor, trials=20))
+    return results

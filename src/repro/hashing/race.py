@@ -1,0 +1,115 @@
+"""RACE hashing (Zuo et al., ATC '21) — the closed-addressing comparison
+point of Figure 3d.
+
+RACE combines three ideas: associativity, two hash choices, and overflow
+colocation.  The table is an array of *bucket groups*; each group holds
+two main buckets that share one overflow bucket between them.  A key
+hashes to two groups; it may reside in either group's main bucket or the
+shared overflow bucket, so a search fetches **four** buckets — the
+amplification factor is ``4 × bucket_size``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import HashTableFullError
+from repro.hashing.hopscotch import default_hash
+
+
+def _second_hash(key: int, modulus: int) -> int:
+    mixed = (key * 0xC2B2AE3D27D4EB4F + 0x165667B19E3779F9) & 0xFFFFFFFFFFFFFFFF
+    mixed ^= mixed >> 31
+    return mixed % modulus
+
+
+class RaceTable:
+    """RACE-style hashing: 2 choices x (main + colocated overflow) buckets.
+
+    Each group occupies ``3 * bucket_size`` entries: main bucket 0,
+    overflow, main bucket 1.  A key choosing group g with sub-choice s can
+    use main bucket s of the group or the shared overflow.
+    """
+
+    def __init__(self, capacity: int, bucket_size: int = 4,
+                 hash_fn: Optional[Callable[[int, int], int]] = None) -> None:
+        group_entries = 3 * bucket_size
+        if capacity % group_entries:
+            raise HashTableFullError(
+                f"capacity {capacity} not a multiple of group "
+                f"size {group_entries}")
+        self.capacity = capacity
+        self.bucket_size = bucket_size
+        self.num_groups = capacity // group_entries
+        self._hash = hash_fn or default_hash
+        self._keys: List[Optional[int]] = [None] * capacity
+        self._values: List[Optional[object]] = [None] * capacity
+        self.size = 0
+
+    @property
+    def load_factor(self) -> float:
+        return self.size / self.capacity
+
+    @property
+    def amplification_factor(self) -> int:
+        """Entries fetched per point lookup (4 candidate buckets)."""
+        return 4 * self.bucket_size
+
+    def _choices(self, key: int) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+        """Two (group, main-bucket-index) choices for *key*."""
+        first = self._hash(key, self.num_groups)
+        second = _second_hash(key, self.num_groups)
+        return (first, 0), (second, 1)
+
+    def _bucket_slots(self, group: int, which: int):
+        """Slots of a bucket: which 0 = main A, 1 = main B, 2 = overflow."""
+        base = group * 3 * self.bucket_size
+        order = {0: 0, 1: 2, 2: 1}[which]  # overflow physically in the middle
+        start = base + order * self.bucket_size
+        return range(start, start + self.bucket_size)
+
+    def _candidate_buckets(self, key: int):
+        (g1, s1), (g2, s2) = self._choices(key)
+        yield self._bucket_slots(g1, s1)
+        yield self._bucket_slots(g1, 2)
+        yield self._bucket_slots(g2, s2)
+        yield self._bucket_slots(g2, 2)
+
+    def insert(self, key: int, value: object) -> None:
+        for slots in self._candidate_buckets(key):
+            for slot in slots:
+                if self._keys[slot] == key:
+                    self._values[slot] = value
+                    return
+        for slots in self._candidate_buckets(key):
+            for slot in slots:
+                if self._keys[slot] is None:
+                    self._keys[slot] = key
+                    self._values[slot] = value
+                    self.size += 1
+                    return
+        raise HashTableFullError(f"all four buckets full for key {key}")
+
+    def lookup(self, key: int):
+        for slots in self._candidate_buckets(key):
+            for slot in slots:
+                if self._keys[slot] == key:
+                    return self._values[slot]
+        raise KeyError(key)
+
+    def __contains__(self, key: int) -> bool:
+        try:
+            self.lookup(key)
+            return True
+        except KeyError:
+            return False
+
+    def delete(self, key: int) -> None:
+        for slots in self._candidate_buckets(key):
+            for slot in slots:
+                if self._keys[slot] == key:
+                    self._keys[slot] = None
+                    self._values[slot] = None
+                    self.size -= 1
+                    return
+        raise KeyError(key)

@@ -1,0 +1,30 @@
+"""The memory pool: regions, global addresses, allocation, memory nodes."""
+
+from repro.memory.allocator import BumpAllocator, ChunkAllocator, DEFAULT_CHUNK_SIZE
+from repro.memory.node import MemoryNode, RPC_SERVICE_TIME
+from repro.memory.region import (
+    ATOMIC_SIZE,
+    CACHE_LINE,
+    MemoryRegion,
+    NULL_ADDR,
+    addr_mn,
+    addr_offset,
+    make_addr,
+    split_addr,
+)
+
+__all__ = [
+    "ATOMIC_SIZE",
+    "BumpAllocator",
+    "CACHE_LINE",
+    "ChunkAllocator",
+    "DEFAULT_CHUNK_SIZE",
+    "MemoryNode",
+    "MemoryRegion",
+    "NULL_ADDR",
+    "RPC_SERVICE_TIME",
+    "addr_mn",
+    "addr_offset",
+    "make_addr",
+    "split_addr",
+]

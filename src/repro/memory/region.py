@@ -1,0 +1,134 @@
+"""Byte-addressable memory regions and global addresses.
+
+A *global address* names a byte in the memory pool: it packs a memory-node
+id into the top 16 bits of a 64-bit integer and a byte offset into the low
+48 bits, mirroring how DM systems embed node ids in remote pointers.
+Address 0 is the null pointer (memory nodes never hand out offset 0).
+
+:class:`MemoryRegion` is the raw DRAM of one memory node.  All mutation
+primitives here are *host-side and instantaneous*; the simulated timing of
+remote access lives in :mod:`repro.rdma`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from repro.errors import MemoryAccessError
+
+#: Number of low bits holding the byte offset inside a node.
+OFFSET_BITS = 48
+_OFFSET_MASK = (1 << OFFSET_BITS) - 1
+
+#: The null global address.
+NULL_ADDR = 0
+
+#: Size of the atomic unit for CAS-family verbs (RDMA atomics are 64-bit).
+ATOMIC_SIZE = 8
+
+#: Cache line granularity used by the torn-write model and version layout.
+CACHE_LINE = 64
+
+_U64 = struct.Struct("<Q")
+
+
+def make_addr(mn_id: int, offset: int) -> int:
+    """Pack *(mn_id, offset)* into a 64-bit global address."""
+    if not 0 <= mn_id < (1 << 16):
+        raise MemoryAccessError(f"mn_id out of range: {mn_id}")
+    if not 0 <= offset <= _OFFSET_MASK:
+        raise MemoryAccessError(f"offset out of range: {offset}")
+    return (mn_id << OFFSET_BITS) | offset
+
+
+def split_addr(addr: int) -> Tuple[int, int]:
+    """Unpack a global address into *(mn_id, offset)*."""
+    if addr < 0 or addr >= (1 << 64):
+        raise MemoryAccessError(f"bad global address: {addr}")
+    return addr >> OFFSET_BITS, addr & _OFFSET_MASK
+
+
+def addr_mn(addr: int) -> int:
+    """The memory-node id encoded in *addr*."""
+    return addr >> OFFSET_BITS
+
+
+def addr_offset(addr: int) -> int:
+    """The byte offset encoded in *addr*."""
+    return addr & _OFFSET_MASK
+
+
+class MemoryRegion:
+    """The DRAM of one memory node: a bounds-checked bytearray.
+
+    Atomic primitives operate on little-endian 64-bit words, matching the
+    RDMA atomic verb semantics the paper relies on (CAS and masked-CAS on
+    8-byte lock words).
+    """
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise MemoryAccessError(f"region size must be positive: {size}")
+        self.size = size
+        self._data = bytearray(size)
+
+    def _check(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise MemoryAccessError(
+                f"access [{offset}, {offset + length}) outside region "
+                f"of {self.size} bytes")
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Copy *length* bytes starting at *offset*."""
+        self._check(offset, length)
+        return bytes(self._data[offset:offset + length])
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Store *data* at *offset*."""
+        self._check(offset, len(data))
+        self._data[offset:offset + len(data)] = data
+
+    def read_u64(self, offset: int) -> int:
+        """Read a little-endian 64-bit word."""
+        self._check(offset, ATOMIC_SIZE)
+        return _U64.unpack_from(self._data, offset)[0]
+
+    def write_u64(self, offset: int, value: int) -> None:
+        """Write a little-endian 64-bit word."""
+        self._check(offset, ATOMIC_SIZE)
+        _U64.pack_into(self._data, offset, value)
+
+    def cas(self, offset: int, expected: int, new: int) -> Tuple[int, bool]:
+        """Atomic compare-and-swap on the 64-bit word at *offset*.
+
+        Returns ``(old_value, swapped)``.
+        """
+        old = self.read_u64(offset)
+        if old == expected:
+            self.write_u64(offset, new)
+            return old, True
+        return old, False
+
+    def masked_cas(self, offset: int, compare: int, swap: int,
+                   compare_mask: int, swap_mask: int) -> Tuple[int, bool]:
+        """RDMA masked compare-and-swap (ConnectX extended atomic).
+
+        Only the bits selected by *compare_mask* participate in the
+        comparison; on success only the bits selected by *swap_mask* are
+        replaced.  Returns ``(old_value, swapped)``; the *old_value* always
+        carries the full 8-byte word, which is exactly what CHIME's
+        vacancy-bitmap piggybacking exploits.
+        """
+        old = self.read_u64(offset)
+        if (old & compare_mask) == (compare & compare_mask):
+            new = (old & ~swap_mask & 0xFFFFFFFFFFFFFFFF) | (swap & swap_mask)
+            self.write_u64(offset, new)
+            return old, True
+        return old, False
+
+    def faa(self, offset: int, delta: int) -> int:
+        """Atomic fetch-and-add on the 64-bit word at *offset*; returns old value."""
+        old = self.read_u64(offset)
+        self.write_u64(offset, (old + delta) & 0xFFFFFFFFFFFFFFFF)
+        return old

@@ -1,0 +1,14 @@
+"""Simulated one-sided RDMA: NIC queueing model and verb layer."""
+
+from repro.rdma.nic import Nic, NicSpec, WIRE_OVERHEAD
+from repro.rdma.ops import TrafficStats
+from repro.rdma.verbs import ATOMIC_PENALTY, RdmaQp
+
+__all__ = [
+    "ATOMIC_PENALTY",
+    "Nic",
+    "NicSpec",
+    "RdmaQp",
+    "TrafficStats",
+    "WIRE_OVERHEAD",
+]

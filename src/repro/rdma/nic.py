@@ -1,0 +1,82 @@
+"""The simulated RDMA NIC.
+
+Each NIC direction (rx / tx) is a FIFO :class:`~repro.sim.resources.QueueServer`.
+The service time of a message is::
+
+    max(1 / iops,  (payload + WIRE_OVERHEAD) / bandwidth)
+
+which captures the two regimes the paper's analysis depends on:
+
+* small messages are **IOPS-bound** (the per-verb processing cost
+  dominates), so halving the read size does *not* double throughput —
+  §3.2.3's observation that 1-entry reads are only ~1.3× faster than
+  8-entry neighborhoods;
+* large messages are **bandwidth-bound**, so read amplification translates
+  directly into lost throughput — the reason Sherman/ROLEX collapse when
+  fetching whole leaf nodes (Fig. 3b).
+
+Defaults approximate one 100 Gbps ConnectX-6 port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import Engine
+from repro.sim.resources import QueueServer
+
+#: Fixed per-message wire overhead (headers, CRC) in bytes.
+WIRE_OVERHEAD = 40
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """Performance envelope of one NIC."""
+
+    #: Usable bandwidth in bytes/second (100 Gbps ~= 12.5 GB/s).
+    bandwidth: float = 12.5e9
+    #: Verb processing rate cap in messages/second.
+    iops: float = 120e6
+    #: One-way propagation + fabric latency in seconds.
+    latency: float = 1.5e-6
+    #: Parallel processing lanes per direction.
+    lanes: int = 1
+
+    def service_time(self, payload_bytes: int) -> float:
+        """Service time for one message carrying *payload_bytes*."""
+        return max(1.0 / self.iops,
+                   (payload_bytes + WIRE_OVERHEAD) / self.bandwidth)
+
+
+class Nic:
+    """One simulated NIC: an rx queue, a tx queue, and traffic counters."""
+
+    def __init__(self, engine: Engine, spec: NicSpec, name: str = "") -> None:
+        self.engine = engine
+        self.spec = spec
+        self.name = name
+        self.rx = QueueServer(engine, slots=spec.lanes, name=f"{name}.rx")
+        self.tx = QueueServer(engine, slots=spec.lanes, name=f"{name}.tx")
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.messages_in = 0
+        self.messages_out = 0
+
+    def receive(self, payload_bytes: int, on_start=None):
+        """Queue an inbound message; returns its completion event."""
+        self.bytes_in += payload_bytes + WIRE_OVERHEAD
+        self.messages_in += 1
+        return self.rx.request(self.spec.service_time(payload_bytes),
+                               on_start=on_start)
+
+    def send(self, payload_bytes: int):
+        """Queue an outbound message; returns its completion event."""
+        self.bytes_out += payload_bytes + WIRE_OVERHEAD
+        self.messages_out += 1
+        return self.tx.request(self.spec.service_time(payload_bytes))
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of *elapsed* the busier direction spent serving."""
+        if elapsed <= 0:
+            return 0.0
+        return max(self.rx.busy_time, self.tx.busy_time) / elapsed

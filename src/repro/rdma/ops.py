@@ -1,0 +1,68 @@
+"""Verb descriptors and per-queue-pair traffic accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Application-level request header bytes for a one-sided verb (address,
+#: length, keys).  Wire overhead is added separately by the NIC model.
+REQUEST_HEADER = 28
+
+#: Payload of an atomic verb (the 8-byte operand; masked-CAS carries masks
+#: too, folded into the header).
+ATOMIC_PAYLOAD = 8
+
+#: Application-level payload of an allocation RPC request / response.
+RPC_REQUEST_BYTES = 64
+RPC_RESPONSE_BYTES = 16
+
+
+@dataclass
+class TrafficStats:
+    """Counters a queue pair maintains; the bench layer reads deltas.
+
+    ``rtts`` counts *round trips* — a doorbell-batched group of verbs is
+    one round trip, matching how the paper's Table 1 counts operations.
+    """
+
+    rtts: int = 0
+    verbs: int = 0
+    reads: int = 0
+    writes: int = 0
+    atomics: int = 0
+    rpcs: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    retries: int = 0
+
+    def snapshot(self) -> "TrafficStats":
+        """A copy for delta computation around one index operation."""
+        return TrafficStats(self.rtts, self.verbs, self.reads, self.writes,
+                            self.atomics, self.rpcs, self.bytes_read,
+                            self.bytes_written, self.retries)
+
+    def delta(self, before: "TrafficStats") -> "TrafficStats":
+        """Counters accumulated since *before* was snapshotted."""
+        return TrafficStats(
+            self.rtts - before.rtts,
+            self.verbs - before.verbs,
+            self.reads - before.reads,
+            self.writes - before.writes,
+            self.atomics - before.atomics,
+            self.rpcs - before.rpcs,
+            self.bytes_read - before.bytes_read,
+            self.bytes_written - before.bytes_written,
+            self.retries - before.retries,
+        )
+
+    def merge(self, other: "TrafficStats") -> None:
+        """Accumulate *other* into this instance (for cluster-wide totals)."""
+        self.rtts += other.rtts
+        self.verbs += other.verbs
+        self.reads += other.reads
+        self.writes += other.writes
+        self.atomics += other.atomics
+        self.rpcs += other.rpcs
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.retries += other.retries

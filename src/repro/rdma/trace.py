@@ -1,0 +1,116 @@
+"""Verb-level tracing for queue pairs.
+
+Wrap a client's QP in a :class:`QpTracer` to record every verb it issues
+— kind, target address, size, and simulated issue time.  Useful when
+checking an operation's round-trip budget against Table 1, or debugging
+why an index path costs more verbs than expected.
+
+::
+
+    tracer = QpTracer(client.qp)
+    with tracer:
+        ...  # drive operations
+    for record in tracer.records:
+        print(record)
+    print(tracer.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class VerbRecord:
+    """One traced verb issue."""
+
+    time: float
+    kind: str
+    addr: int
+    size: int
+    batch: int = 1
+
+
+class QpTracer:
+    """Intercepts a queue pair's verb methods while active."""
+
+    _METHODS = ("read", "write", "cas", "masked_cas", "faa",
+                "read_batch", "write_batch", "rpc")
+
+    def __init__(self, qp) -> None:
+        self.qp = qp
+        self.records: List[VerbRecord] = []
+        self._originals: Dict[str, Any] = {}
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def __enter__(self) -> "QpTracer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        for name in self._METHODS:
+            self._originals[name] = getattr(self.qp, name)
+            setattr(self.qp, name, self._wrap(name, self._originals[name]))
+
+    def stop(self) -> None:
+        for name in self._originals:
+            # start() shadowed the class method with an instance
+            # attribute; removing it restores normal class lookup.
+            delattr(self.qp, name)
+        self._originals.clear()
+
+    # -- interception -------------------------------------------------------------
+
+    def _wrap(self, name: str, original):
+        tracer = self
+
+        def traced(*args, **kwargs):
+            tracer._record(name, args)
+            result = yield from original(*args, **kwargs)
+            return result
+
+        return traced
+
+    def _record(self, name: str, args: Tuple) -> None:
+        now = self.qp.engine.now
+        if name == "read":
+            addr, size = args[0], args[1]
+            self.records.append(VerbRecord(now, "read", addr, size))
+        elif name == "write":
+            addr, data = args[0], args[1]
+            self.records.append(VerbRecord(now, "write", addr, len(data)))
+        elif name in ("cas", "masked_cas", "faa"):
+            self.records.append(VerbRecord(now, name, args[0], 8))
+        elif name == "read_batch":
+            requests: Sequence = args[0]
+            total = sum(size for _a, size in requests)
+            self.records.append(VerbRecord(
+                now, "read_batch", requests[0][0], total,
+                batch=len(requests)))
+        elif name == "write_batch":
+            requests = args[0]
+            total = sum(len(data) for _a, data in requests)
+            self.records.append(VerbRecord(
+                now, "write_batch", requests[0][0], total,
+                batch=len(requests)))
+        elif name == "rpc":
+            self.records.append(VerbRecord(now, "rpc", args[0], 0))
+
+    # -- reporting -----------------------------------------------------------------
+
+    def summary(self) -> Dict[str, int]:
+        """Verb counts by kind plus total round trips and bytes."""
+        out: Dict[str, int] = {}
+        for record in self.records:
+            out[record.kind] = out.get(record.kind, 0) + 1
+        out["round_trips"] = len(self.records)
+        out["bytes"] = sum(record.size for record in self.records)
+        return out
+
+    def clear(self) -> None:
+        self.records.clear()

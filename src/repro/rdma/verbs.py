@@ -1,0 +1,262 @@
+"""One-sided RDMA verbs over the simulated fabric.
+
+:class:`RdmaQp` is a queue pair connecting one client to the memory pool.
+Each verb is a generator coroutine: it charges NIC queue time and
+propagation latency on the simulation engine and then performs the actual
+memory effect on the target :class:`~repro.memory.node.MemoryNode`.
+
+Timing model per verb (MN-side NIC is the modelled bottleneck, as in the
+paper's 10-CN / 1-MN setup; the CN NIC can optionally be modelled too):
+
+* READ   — request latency → MN rx processing (IOPS charge) → *memory
+  sampled here* → MN tx transfer (bandwidth charge for the data) →
+  response latency.
+* WRITE  — request transfer into MN rx (bandwidth charge for the data;
+  payload lands in 64-byte cache-line chunks across the service window,
+  so concurrent READs observe genuinely torn states) → ack latency.
+* CAS / masked-CAS / FAA — like READ but the memory effect is atomic and
+  NICs process atomics at a reduced rate (`NicSpec.iops / atomic_penalty`).
+* Doorbell batches — several READs or WRITEs issued back-to-back count as
+  **one round trip**: latency is paid once, per-verb NIC charges still
+  apply (this is why batching helps RTT-bound operations but not
+  IOPS-bound ones).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.errors import MemoryAccessError
+from repro.memory.region import CACHE_LINE, addr_mn
+
+if TYPE_CHECKING:  # avoid a package-level import cycle with repro.memory.node
+    from repro.memory.node import MemoryNode
+from repro.rdma.nic import Nic, WIRE_OVERHEAD
+from repro.rdma.ops import (
+    ATOMIC_PAYLOAD,
+    RPC_REQUEST_BYTES,
+    RPC_RESPONSE_BYTES,
+    TrafficStats,
+)
+from repro.sim.engine import Engine
+
+#: NICs execute atomic verbs this much slower than plain verbs.
+ATOMIC_PENALTY = 2.0
+
+
+class RdmaQp:
+    """A client's queue pair into the memory pool."""
+
+    def __init__(self, engine: Engine, mns: Dict[int, "MemoryNode"],
+                 cn_nic: Optional[Nic] = None, torn_writes: bool = True) -> None:
+        self.engine = engine
+        self._mns = mns
+        self._cn_nic = cn_nic
+        self._torn_writes = torn_writes
+        self.stats = TrafficStats()
+
+    def _mn(self, addr: int) -> "MemoryNode":
+        mn_id = addr_mn(addr)
+        try:
+            return self._mns[mn_id]
+        except KeyError:
+            raise MemoryAccessError(f"no memory node {mn_id} "
+                                    f"(address {addr:#x})") from None
+
+    # ------------------------------------------------------------------ READ
+
+    def read(self, addr: int, length: int) -> Generator:
+        """One-sided READ of *length* bytes; returns the payload."""
+        self.stats.rtts += 1
+        data, = yield from self._read_group([(addr, length)])
+        return data
+
+    def read_batch(self, requests: Sequence[Tuple[int, int]]) -> Generator:
+        """Doorbell-batched READs: one round trip, per-verb NIC charges."""
+        self.stats.rtts += 1
+        results = yield from self._read_group(requests)
+        return results
+
+    def _read_group(self, requests: Sequence[Tuple[int, int]]) -> Generator:
+        if self._cn_nic is not None:
+            yield self._cn_nic.send(0)
+        mn0 = self._mn(requests[0][0])
+        yield self.engine.timeout(mn0.nic.spec.latency)
+        # Request processing: each verb charges the target MN's rx pipeline.
+        rx_events = []
+        for addr, _length in requests:
+            mn = self._mn(addr)
+            rx_events.append(mn.nic.receive(0))
+        yield self.engine.all_of(rx_events)
+        # Memory is sampled when the request has been processed.
+        payloads: List[bytes] = []
+        total = 0
+        for addr, length in requests:
+            mn = self._mn(addr)
+            payloads.append(mn.mem_read(addr, length))
+            total += length
+            self.stats.verbs += 1
+            self.stats.reads += 1
+            self.stats.bytes_read += length
+        # Response transfer: data consumes MN egress bandwidth.
+        tx_events = []
+        for (addr, length), _payload in zip(requests, payloads):
+            mn = self._mn(addr)
+            tx_events.append(mn.nic.send(length))
+        yield self.engine.all_of(tx_events)
+        yield self.engine.timeout(mn0.nic.spec.latency)
+        if self._cn_nic is not None:
+            yield self._cn_nic.receive(total)
+        return payloads
+
+    # ----------------------------------------------------------------- WRITE
+
+    def write(self, addr: int, data: bytes) -> Generator:
+        """One-sided WRITE; returns once the remote ack arrives."""
+        self.stats.rtts += 1
+        yield from self._write_group([(addr, data)])
+
+    def write_batch(self, requests: Sequence[Tuple[int, bytes]]) -> Generator:
+        """Doorbell-batched WRITEs: one round trip, per-verb NIC charges.
+
+        The verbs land in order (the QP is ordered), which CHIME relies on
+        when combining a data write with the unlocking write.
+        """
+        self.stats.rtts += 1
+        yield from self._write_group(requests)
+
+    def _write_group(self, requests: Sequence[Tuple[int, bytes]]) -> Generator:
+        """Deliver write payloads; large payloads land chunk by chunk.
+
+        With torn writes enabled, each payload is split at **global
+        cache-line boundaries** and every chunk occupies the MN rx queue
+        as its own service slice, landing in memory when its slice
+        completes.  Queued READs therefore interleave *between* chunk
+        landings and genuinely observe half-written regions — exactly the
+        hazard CHIME's three-level optimistic synchronization must detect.
+        (A real NIC's DMA engine similarly lands cache-line-aligned units
+        concurrently with other processing.)  Global alignment matters: it
+        guarantees every possible tear boundary coincides with a striped
+        line-version byte, making the NV check complete.  Aggregate
+        bandwidth/IOPS costs match the unchunked model.
+        """
+        total = sum(len(data) for _addr, data in requests)
+        if self._cn_nic is not None:
+            yield self._cn_nic.send(total)
+        mn0 = self._mn(requests[0][0])
+        yield self.engine.timeout(mn0.nic.spec.latency)
+        for addr, data in requests:
+            mn = self._mn(addr)
+            spec = mn.nic.spec
+            mn.nic.bytes_in += len(data) + WIRE_OVERHEAD  # once per verb
+            mn.nic.messages_in += 1
+            chunks = self._split_chunks(addr, data)
+            # Per-chunk service times summing to exactly the unchunked
+            # cost max(1/iops, (bytes + overhead) / bandwidth).
+            services = [len(chunk) / spec.bandwidth for _a, chunk in chunks]
+            services[0] += WIRE_OVERHEAD / spec.bandwidth
+            shortfall = 1.0 / spec.iops - sum(services)
+            if shortfall > 0:
+                services[0] += shortfall
+            # Chunks are *chained*: each lands when its service slice
+            # completes, and other queued verbs (reads!) may be served in
+            # between — that is where genuinely torn reads come from.
+            for (chunk_addr, chunk), service in zip(chunks, services):
+                yield mn.nic.rx.request(service)
+                mn.mem_write(chunk_addr, chunk)
+            self.stats.verbs += 1
+            self.stats.writes += 1
+            self.stats.bytes_written += len(data)
+        yield self.engine.timeout(mn0.nic.spec.latency)
+        if self._cn_nic is not None:
+            yield self._cn_nic.receive(0)
+
+    def _split_chunks(self, addr: int, data: bytes):
+        """Split a payload at global cache-line boundaries (or not at all
+        when torn-write modelling is disabled)."""
+        if not self._torn_writes or len(data) <= CACHE_LINE:
+            return [(addr, data)]
+        chunks = []
+        offset = 0
+        first = CACHE_LINE - (addr % CACHE_LINE)
+        if first:
+            chunks.append((addr, data[:first]))
+            offset = first
+        while offset < len(data):
+            chunks.append((addr + offset, data[offset:offset + CACHE_LINE]))
+            offset += CACHE_LINE
+        return chunks
+
+    @staticmethod
+    def _chunk_writer(mn: "MemoryNode", addr: int, chunk: bytes):
+        def land(_event) -> None:
+            mn.mem_write(addr, chunk)
+        return land
+
+    # --------------------------------------------------------------- ATOMICS
+
+    def cas(self, addr: int, expected: int, new: int) -> Generator:
+        """Atomic compare-and-swap; returns ``(old_value, swapped)``."""
+        result = yield from self._atomic(
+            addr, lambda mn: mn.mem_cas(addr, expected, new))
+        return result
+
+    def masked_cas(self, addr: int, compare: int, swap: int,
+                   compare_mask: int, swap_mask: int) -> Generator:
+        """RDMA extended masked CAS; returns ``(old_value, swapped)``.
+
+        The returned old value carries the full 8-byte word regardless of
+        the masks — the property CHIME's vacancy-bitmap piggybacking uses
+        to read metadata for free during lock acquisition.
+        """
+        result = yield from self._atomic(
+            addr, lambda mn: mn.mem_masked_cas(addr, compare, swap,
+                                               compare_mask, swap_mask))
+        return result
+
+    def faa(self, addr: int, delta: int) -> Generator:
+        """Atomic fetch-and-add; returns the old value."""
+        result = yield from self._atomic(
+            addr, lambda mn: (mn.mem_faa(addr, delta), True))
+        return result[0]
+
+    def _atomic(self, addr: int, effect) -> Generator:
+        self.stats.rtts += 1
+        self.stats.verbs += 1
+        self.stats.atomics += 1
+        mn = self._mn(addr)
+        if self._cn_nic is not None:
+            yield self._cn_nic.send(ATOMIC_PAYLOAD)
+        yield self.engine.timeout(mn.nic.spec.latency)
+        service = mn.nic.spec.service_time(ATOMIC_PAYLOAD) * ATOMIC_PENALTY
+        mn.nic.bytes_in += ATOMIC_PAYLOAD
+        mn.nic.messages_in += 1
+        yield mn.nic.rx.request(service)
+        result = effect(mn)  # atomic: applied at one instant
+        yield mn.nic.send(ATOMIC_PAYLOAD)
+        yield self.engine.timeout(mn.nic.spec.latency)
+        if self._cn_nic is not None:
+            yield self._cn_nic.receive(ATOMIC_PAYLOAD)
+        return result
+
+    # ------------------------------------------------------------------- RPC
+
+    def rpc(self, mn_id: int, request) -> Generator:
+        """Two-sided RPC to a memory node's weak CPU (allocation only)."""
+        self.stats.rtts += 1
+        self.stats.rpcs += 1
+        try:
+            mn = self._mns[mn_id]
+        except KeyError:
+            raise MemoryAccessError(f"no memory node {mn_id}") from None
+        if self._cn_nic is not None:
+            yield self._cn_nic.send(RPC_REQUEST_BYTES)
+        yield self.engine.timeout(mn.nic.spec.latency)
+        yield mn.nic.receive(RPC_REQUEST_BYTES)
+        yield mn.cpu.request(mn.rpc_service_time)
+        reply = mn.handle_rpc(request)
+        yield mn.nic.send(RPC_RESPONSE_BYTES)
+        yield self.engine.timeout(mn.nic.spec.latency)
+        if self._cn_nic is not None:
+            yield self._cn_nic.receive(RPC_RESPONSE_BYTES)
+        return reply

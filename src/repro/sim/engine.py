@@ -1,0 +1,335 @@
+"""A small deterministic discrete-event simulation engine.
+
+The engine drives *processes* — plain Python generators that ``yield``
+:class:`Event` objects.  When a yielded event triggers, the process is
+resumed with the event's value (or the event's exception is thrown into
+it).  This is the same execution model as SimPy, reimplemented here so the
+library has no runtime dependencies and so the scheduler semantics are
+fully under our control (determinism matters: every experiment must be
+exactly reproducible from its seed).
+
+Scheduling is strictly ordered by ``(time, priority, sequence)`` so two
+events at the same timestamp trigger in the order they were scheduled.
+Simulated time is a float in **seconds**.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+#: Type alias for the generator type processes are written as.
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    makes it *triggered*, after which the engine runs its callbacks (which
+    is how waiting processes are resumed).  Events may only trigger once.
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_exception", "_triggered")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has already fired."""
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        """The value the event succeeded with (None until triggered)."""
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The exception the event failed with, if any."""
+        return self._exception
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering *value* to waiters."""
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._value = value
+        self.engine._queue_callbacks(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception, thrown into waiters."""
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("Event.fail() requires an exception")
+        self._triggered = True
+        self._exception = exception
+        self.engine._queue_callbacks(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(engine)
+        self._value = value
+        engine._schedule_at(engine.now + delay, self)
+
+
+class AllOf(Event):
+    """An event that triggers once every child event has succeeded.
+
+    The value is a list of the child values in the order given.  If any
+    child fails, this event fails with the same exception (first failure
+    wins).
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:
+        super().__init__(engine)
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            if child.triggered:
+                self._on_child(child)
+            else:
+                child.callbacks.append(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self._triggered:
+            return
+        if child.exception is not None:
+            self.fail(child.exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(Event):
+    """An event that triggers as soon as one child event triggers.
+
+    The value is a ``(index, value)`` tuple identifying which child fired
+    first.  A failing child fails this event.
+    """
+
+    __slots__ = ("_children",)
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:
+        super().__init__(engine)
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf requires at least one event")
+        for index, child in enumerate(self._children):
+            on_child = self._make_on_child(index)
+            if child.triggered:
+                on_child(child)
+            else:
+                child.callbacks.append(on_child)
+
+    def _make_on_child(self, index: int) -> Callable[[Event], None]:
+        def on_child(child: Event) -> None:
+            if self._triggered:
+                return
+            if child.exception is not None:
+                self.fail(child.exception)
+            else:
+                self.succeed((index, child.value))
+
+        return on_child
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns.
+
+    The event value is the generator's return value.  An uncaught
+    exception inside the generator fails the process event; if nothing is
+    waiting on the process, the exception propagates out of
+    :meth:`Engine.run` (silent failures hide bugs).
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, engine: "Engine", generator: ProcessGenerator,
+                 name: str = "") -> None:
+        super().__init__(engine)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Start the process at the current simulated time.
+        bootstrap = Event(engine)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the generator has not yet finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Optional[Exception] = None) -> None:
+        """Throw :class:`Interrupted` into the process at the current time."""
+        if self._triggered:
+            return
+        exc = Interrupted(cause)
+        waiting = self._waiting_on
+        if waiting is not None and not waiting.triggered:
+            # Detach from the event we were waiting on and resume with the
+            # interrupt instead.
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        kicker = Event(self.engine)
+        kicker.callbacks.append(lambda _ev: self._step(exc, is_exception=True))
+        kicker.succeed(None)
+
+    # -- engine plumbing ---------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.exception is not None:
+            self._step(event.exception, is_exception=True)
+        else:
+            self._step(event.value, is_exception=False)
+
+    def _step(self, payload: Any, is_exception: bool) -> None:
+        if self._triggered:
+            return
+        try:
+            if is_exception:
+                target = self._generator.throw(payload)
+            else:
+                target = self._generator.send(payload)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - deliberately broad
+            self.fail(exc)
+            if not self.callbacks:
+                # Nobody is listening; surface the crash to Engine.run().
+                self.engine._crash(exc)
+            return
+        if not isinstance(target, Event):
+            self.fail(SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"))
+            return
+        self._waiting_on = target
+        if target.triggered:
+            immediate = Event(self.engine)
+            immediate.callbacks.append(lambda _ev: self._resume(target))
+            immediate.succeed(None)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class Interrupted(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Optional[Exception]) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Engine:
+    """The event loop: a heap of ``(time, seq, event)`` entries."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._pending_crash: Optional[BaseException] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- factory helpers ----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers *delay* seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start running *generator* as a process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all *events* have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when the first of *events* triggers."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule_at(self, when: float, event: Event) -> None:
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past ({when} < {self._now})")
+        self._sequence += 1
+        heapq.heappush(self._heap, (when, self._sequence, event))
+
+    def _queue_callbacks(self, event: Event) -> None:
+        # Callbacks run when the heap entry is popped.  Events triggered
+        # explicitly (succeed/fail) are queued at the current time so their
+        # callbacks run in deterministic scheduling order, not re-entrantly.
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now, self._sequence, event))
+
+    def _crash(self, exc: BaseException) -> None:
+        if self._pending_crash is None:
+            self._pending_crash = exc
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or simulated time reaches *until*.
+
+        Returns the simulated time at which the run stopped.  Re-raises
+        the first uncaught exception from any process nobody was waiting
+        on.
+        """
+        while self._heap:
+            if self._pending_crash is not None:
+                exc, self._pending_crash = self._pending_crash, None
+                raise exc
+            when, _seq, event = self._heap[0]
+            if until is not None and when > until:
+                self._now = until
+                break
+            heapq.heappop(self._heap)
+            self._now = when
+            if isinstance(event, Timeout) and not event.triggered:
+                event._triggered = True  # fires by reaching its time
+            callbacks, event.callbacks = event.callbacks, []
+            for callback in callbacks:
+                callback(event)
+        else:
+            if until is not None and until > self._now:
+                self._now = until
+        if self._pending_crash is not None:
+            exc, self._pending_crash = self._pending_crash, None
+            raise exc
+        return self._now

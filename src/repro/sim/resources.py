@@ -1,0 +1,150 @@
+"""Queueing resources for the simulation engine.
+
+The central abstraction is :class:`QueueServer` — a work-conserving FIFO
+server with a configurable number of service slots.  A request enters the
+queue, waits for a free slot, occupies it for its service time, and its
+completion event then fires.  This models NIC processing pipelines,
+memory-node RPC handlers, and anything else that serializes work.
+
+:class:`Store` is a small producer/consumer mailbox used for RPC channels.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, Event
+
+
+class QueueServer:
+    """A FIFO server with *slots* parallel service lanes.
+
+    Requests are served in arrival order.  Statistics (busy time, served
+    count) are tracked so experiments can report utilization.
+    """
+
+    def __init__(self, engine: Engine, slots: int = 1, name: str = "") -> None:
+        if slots < 1:
+            raise SimulationError(f"QueueServer needs >= 1 slot, got {slots}")
+        self.engine = engine
+        self.slots = slots
+        self.name = name
+        self._busy = 0
+        self._waiting: Deque[Tuple[float, Event, Optional[Callable[[float, float], None]]]] = deque()
+        self.served = 0
+        self.busy_time = 0.0
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot right now."""
+        return len(self._waiting)
+
+    @property
+    def in_service(self) -> int:
+        """Number of requests currently occupying a slot."""
+        return self._busy
+
+    def request(self, service_time: float,
+                on_start: Optional[Callable[[float, float], None]] = None) -> Event:
+        """Submit work needing *service_time* seconds; returns a completion event.
+
+        If *on_start* is given it is called as ``on_start(start_time,
+        service_time)`` the moment the request enters service — used by the
+        RDMA layer to spread a WRITE's payload application across its
+        transfer window (torn-write modelling).
+        """
+        if service_time < 0:
+            raise SimulationError(f"negative service time: {service_time}")
+        done = self.engine.event()
+        if self._busy < self.slots:
+            self._start(service_time, done, on_start)
+        else:
+            self._waiting.append((service_time, done, on_start))
+        return done
+
+    def _start(self, service_time: float, done: Event,
+               on_start: Optional[Callable[[float, float], None]]) -> None:
+        self._busy += 1
+        self.busy_time += service_time
+        if on_start is not None:
+            on_start(self.engine.now, service_time)
+        finish = self.engine.timeout(service_time)
+        finish.callbacks.append(lambda _ev: self._finish(done))
+
+    def _finish(self, done: Event) -> None:
+        self._busy -= 1
+        self.served += 1
+        done.succeed(self.engine.now)
+        if self._waiting and self._busy < self.slots:
+            service_time, next_done, on_start = self._waiting.popleft()
+            self._start(service_time, next_done, on_start)
+
+
+class Store:
+    """An unbounded FIFO mailbox connecting producer and consumer processes."""
+
+    def __init__(self, engine: Engine, name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit *item*; wakes the oldest waiting getter, if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next available item."""
+        event = self.engine.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+
+class Lock:
+    """A simulated mutex for host-side coordination inside one CN.
+
+    Index code uses *remote* CAS-based locks for cross-node exclusion; this
+    class only serializes local critical sections (e.g. a shared local lock
+    table as in Sherman).
+    """
+
+    def __init__(self, engine: Engine, name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._locked = False
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self) -> Event:
+        """Return an event that fires once the caller holds the lock."""
+        event = self.engine.event()
+        if not self._locked:
+            self._locked = True
+            event.succeed(None)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release the lock, handing it to the oldest waiter if present."""
+        if not self._locked:
+            raise SimulationError(f"lock {self.name!r} released while free")
+        if self._waiters:
+            self._waiters.popleft().succeed(None)
+        else:
+            self._locked = False

@@ -1,0 +1,125 @@
+"""Key-popularity distributions for workload generation.
+
+The Zipfian generator uses rejection-inversion sampling (Hörmann &
+Derflinger), the same algorithm YCSB's ``ZipfianGenerator`` implements —
+O(1) per sample with no large precomputed tables, so experiments can
+sweep skewness (Figure 18a) cheaply.  ``ScrambledZipfian`` spreads the
+popular ranks across the keyspace via a hash, as YCSB does, so hot keys
+are not clustered in one tree leaf.  ``Latest`` favours recently inserted
+items (YCSB D).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from repro.errors import WorkloadError
+
+#: YCSB's default Zipfian constant.
+ZIPFIAN_CONSTANT = 0.99
+
+
+class Uniform:
+    """Uniform over [0, count)."""
+
+    def __init__(self, count: int, rng: random.Random) -> None:
+        if count < 1:
+            raise WorkloadError("Uniform needs count >= 1")
+        self.count = count
+        self.rng = rng
+
+    def sample(self) -> int:
+        return self.rng.randrange(self.count)
+
+
+class Zipfian:
+    """Zipfian ranks over [0, count) via rejection inversion.
+
+    Rank 0 is the most popular item.  ``theta`` is the skew (YCSB's
+    zipfian constant); larger is more skewed.
+    """
+
+    def __init__(self, count: int, rng: random.Random,
+                 theta: float = ZIPFIAN_CONSTANT) -> None:
+        if count < 1:
+            raise WorkloadError("Zipfian needs count >= 1")
+        if not 0.0 < theta < 1.0:
+            raise WorkloadError(f"theta must be in (0, 1), got {theta}")
+        self.count = count
+        self.rng = rng
+        self.theta = theta
+        self._q = 1.0 - theta
+        self._h_x1 = self._h(1.5) - 1.0
+        self._h_n = self._h(count + 0.5)
+        self._s = 2.0 - self._h_inverse(self._h(2.5) - self._pow(2.0))
+
+    def _pow(self, x: float) -> float:
+        return math.exp(self._q * math.log(x))
+
+    def _h(self, x: float) -> float:
+        return self._pow(x) / self._q
+
+    def _h_inverse(self, x: float) -> float:
+        return math.exp(math.log(x * self._q) / self._q)
+
+    def sample(self) -> int:
+        while True:
+            u = self._h_n + self.rng.random() * (self._h_x1 - self._h_n)
+            x = self._h_inverse(u)
+            k = math.floor(x + 0.5)
+            if k - x <= self._s:
+                return int(k) - 1
+            if u >= self._h(k + 0.5) - math.exp(-math.log(k) * self.theta):
+                return int(k) - 1
+
+
+def scramble(rank: int, count: int) -> int:
+    """YCSB-style rank scrambling: spread hot ranks over the keyspace."""
+    mixed = (rank * 0xFD7046C5 + 0xB542BACF) & 0xFFFFFFFFFFFFFFFF
+    mixed ^= mixed >> 31
+    mixed = (mixed * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    return (mixed >> 16) % count
+
+
+class ScrambledZipfian:
+    """Zipfian popularity with hashed (scattered) key positions."""
+
+    def __init__(self, count: int, rng: random.Random,
+                 theta: float = ZIPFIAN_CONSTANT) -> None:
+        self.count = count
+        self._zipf = Zipfian(count, rng, theta)
+
+    def sample(self) -> int:
+        return scramble(self._zipf.sample(), self.count)
+
+
+class Latest:
+    """YCSB's latest distribution: recency-skewed over a growing set.
+
+    Sampling draws a Zipfian rank and counts back from the most recent
+    item; ``grow()`` extends the population as inserts commit.
+    """
+
+    def __init__(self, count: int, rng: random.Random,
+                 theta: float = ZIPFIAN_CONSTANT) -> None:
+        if count < 1:
+            raise WorkloadError("Latest needs count >= 1")
+        self.count = count
+        self.rng = rng
+        self.theta = theta
+        # Rebuilding the sampler on every growth would be costly; YCSB
+        # re-scales instead.  We rebuild lazily on power-of-two growth.
+        self._zipf = Zipfian(count, rng, theta)
+        self._built_for = count
+
+    def grow(self, new_count: Optional[int] = None) -> None:
+        self.count = new_count if new_count is not None else self.count + 1
+        if self.count >= self._built_for * 2:
+            self._zipf = Zipfian(self.count, self.rng, self.theta)
+            self._built_for = self.count
+
+    def sample(self) -> int:
+        rank = self._zipf.sample() % self.count
+        return self.count - 1 - rank

@@ -1,0 +1,198 @@
+"""YCSB core workloads (Cooper et al., SoCC '10), as the paper runs them.
+
+Six mixes (§5.1): A (50/50 read/update), B (95/5), C (read-only),
+D (95/5 read/insert with *latest* popularity), E (95/5 scan/insert,
+scans of up to 100 items), and LOAD (100 % insert).  Keys are 8-byte
+integers >= 1; the default popularity is scrambled Zipfian (0.99).
+
+An :class:`OpStream` is a deterministic per-client iterator of
+:class:`Op` values; the bench runner drains one stream per client.
+Inserted keys are unique across clients (partitioned key ranges).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.workloads.distributions import (
+    Latest,
+    ScrambledZipfian,
+    Uniform,
+    ZIPFIAN_CONSTANT,
+)
+
+#: Operation kinds.  READ_MODIFY_WRITE is YCSB F's composite op: the
+#: client reads the current value and writes a new one back.
+SEARCH, UPDATE, INSERT, SCAN = "search", "update", "insert", "scan"
+READ_MODIFY_WRITE = "rmw"
+
+#: Maximum items per YCSB-E scan.
+SCAN_MAX = 100
+
+
+@dataclass(frozen=True)
+class Op:
+    """One workload operation."""
+
+    kind: str
+    key: int
+    value: int = 0
+    scan_count: int = 0
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Operation mix of one YCSB workload."""
+
+    name: str
+    read_fraction: float = 0.0
+    update_fraction: float = 0.0
+    insert_fraction: float = 0.0
+    scan_fraction: float = 0.0
+    rmw_fraction: float = 0.0
+    latest: bool = False
+
+    def __post_init__(self) -> None:
+        total = (self.read_fraction + self.update_fraction
+                 + self.insert_fraction + self.scan_fraction
+                 + self.rmw_fraction)
+        if abs(total - 1.0) > 1e-9:
+            raise WorkloadError(f"workload {self.name} fractions sum to {total}")
+
+
+YCSB_A = WorkloadSpec("A", read_fraction=0.5, update_fraction=0.5)
+YCSB_B = WorkloadSpec("B", read_fraction=0.95, update_fraction=0.05)
+YCSB_C = WorkloadSpec("C", read_fraction=1.0)
+YCSB_D = WorkloadSpec("D", read_fraction=0.95, insert_fraction=0.05,
+                      latest=True)
+YCSB_E = WorkloadSpec("E", scan_fraction=0.95, insert_fraction=0.05)
+#: YCSB F (not in the paper's evaluation, provided for completeness):
+#: 50 % reads, 50 % read-modify-writes.
+YCSB_F = WorkloadSpec("F", read_fraction=0.5, rmw_fraction=0.5)
+YCSB_LOAD = WorkloadSpec("LOAD", insert_fraction=1.0)
+
+WORKLOADS = {spec.name: spec
+             for spec in (YCSB_A, YCSB_B, YCSB_C, YCSB_D, YCSB_E, YCSB_F,
+                          YCSB_LOAD)}
+
+
+def dataset(num_keys: int, key_space: int = 0,
+            seed: int = 1) -> List[Tuple[int, int]]:
+    """A sorted, unique (key, value) dataset.
+
+    With ``key_space == 0`` keys are dense (1..n); otherwise they are
+    sampled uniformly from [1, key_space] — sparse keys exercise radix
+    path compression and learned-model segmentation realistically.
+    """
+    if key_space and key_space < num_keys:
+        raise WorkloadError("key_space smaller than num_keys")
+    if not key_space:
+        return [(k, k * 31 % 1_000_003 + 1) for k in range(1, num_keys + 1)]
+    rng = random.Random(seed)
+    keys = sorted(rng.sample(range(1, key_space + 1), num_keys))
+    return [(k, k * 31 % 1_000_003 + 1) for k in keys]
+
+
+class WorkloadContext:
+    """Shared state for one workload run across all clients.
+
+    Tracks the loaded key population (for reads/updates) and partitions
+    fresh insert keys among clients so concurrent inserts never collide.
+    For YCSB D, the *latest* distribution reads over loaded + committed
+    inserts.
+    """
+
+    def __init__(self, spec: WorkloadSpec, loaded_keys: Sequence[int],
+                 seed: int = 1, theta: float = ZIPFIAN_CONSTANT,
+                 insert_base: Optional[int] = None) -> None:
+        self.spec = spec
+        self.loaded_keys = list(loaded_keys)
+        self.seed = seed
+        self.theta = theta
+        if insert_base is None:
+            insert_base = (max(loaded_keys) + 1) if loaded_keys else 1
+        self.insert_base = insert_base
+        self._insert_counter = 0
+        #: Keys inserted-and-acknowledged, in commit order (YCSB D reads).
+        self.committed_inserts: List[int] = []
+        #: How many inserts the run is expected to perform (set by the
+        #: runner; used to pre-train ROLEX on future keys).
+        self.expected_insert_budget = 0
+
+    def next_insert_key(self) -> int:
+        key = self.insert_base + self._insert_counter
+        self._insert_counter += 1
+        return key
+
+    def commit_insert(self, key: int) -> None:
+        self.committed_inserts.append(key)
+
+    def insert_keys_upto(self, count: int) -> List[int]:
+        """Pre-enumerate the next *count* insert keys (for pre-training
+        ROLEX's model, mirroring the paper's methodology)."""
+        return [self.insert_base + i for i in range(count)]
+
+    def stream(self, client_index: int, num_ops: int) -> "OpStream":
+        return OpStream(self, client_index, num_ops)
+
+
+class OpStream:
+    """Deterministic per-client op iterator."""
+
+    def __init__(self, context: WorkloadContext, client_index: int,
+                 num_ops: int) -> None:
+        self.context = context
+        self.num_ops = num_ops
+        self.rng = random.Random((context.seed, client_index, 77).__hash__()
+                                 & 0x7FFFFFFF)
+        spec = context.spec
+        count = max(len(context.loaded_keys), 1)
+        if spec.latest:
+            self._popularity = Latest(count, self.rng, context.theta)
+        elif context.theta > 0:
+            self._popularity = ScrambledZipfian(count, self.rng,
+                                                context.theta)
+        else:
+            self._popularity = Uniform(count, self.rng)
+
+    def _pick_key(self) -> int:
+        context = self.context
+        if self.context.spec.latest:
+            population = len(context.loaded_keys) + \
+                len(context.committed_inserts)
+            if population == 0:
+                return 1
+            self._popularity.grow(population)
+            index = self._popularity.sample()
+            if index < len(context.loaded_keys):
+                return context.loaded_keys[index]
+            return context.committed_inserts[index
+                                             - len(context.loaded_keys)]
+        if not context.loaded_keys:
+            return 1
+        return context.loaded_keys[self._popularity.sample()
+                                   % len(context.loaded_keys)]
+
+    def __iter__(self) -> Iterator[Op]:
+        spec = self.context.spec
+        for i in range(self.num_ops):
+            draw = self.rng.random()
+            if draw < spec.read_fraction:
+                yield Op(SEARCH, self._pick_key())
+            elif draw < spec.read_fraction + spec.update_fraction:
+                yield Op(UPDATE, self._pick_key(),
+                         value=self.rng.randrange(1, 1 << 30))
+            elif draw < (spec.read_fraction + spec.update_fraction
+                         + spec.insert_fraction):
+                key = self.context.next_insert_key()
+                yield Op(INSERT, key, value=key % 1_000_003 + 1)
+            elif draw < (spec.read_fraction + spec.update_fraction
+                         + spec.insert_fraction + spec.rmw_fraction):
+                yield Op(READ_MODIFY_WRITE, self._pick_key(),
+                         value=self.rng.randrange(1, 1 << 30))
+            else:
+                yield Op(SCAN, self._pick_key(),
+                         scan_count=self.rng.randint(1, SCAN_MAX))

@@ -1,0 +1,304 @@
+"""Unit tests for CHIME node layouts, lock words, and node views."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.node_layout import (
+    ARGMAX_BITS,
+    InternalLayout,
+    LeafLayout,
+    VACANCY_BITS,
+    VacancyBitmap,
+    pack_lock_word,
+    unpack_lock_word,
+)
+from repro.core.nodes import InternalNodeView, LeafNodeView
+from repro.errors import LayoutError
+from repro.layout import MAX_KEY
+from repro.memory.region import CACHE_LINE
+
+
+class TestLockWord:
+    def test_roundtrip(self):
+        word = pack_lock_word(True, 513, 0x1FFF)
+        assert unpack_lock_word(word) == (True, 513, 0x1FFF)
+
+    def test_unlocked(self):
+        word = pack_lock_word(False, 0, 0)
+        assert word == 0
+
+    @given(st.booleans(),
+           st.integers(min_value=0, max_value=(1 << ARGMAX_BITS) - 1),
+           st.integers(min_value=0, max_value=(1 << VACANCY_BITS) - 1))
+    def test_roundtrip_property(self, locked, argmax, vacancy):
+        assert unpack_lock_word(pack_lock_word(locked, argmax, vacancy)) \
+            == (locked, argmax, vacancy)
+
+    def test_argmax_overflow_rejected(self):
+        with pytest.raises(LayoutError):
+            pack_lock_word(False, 1 << ARGMAX_BITS, 0)
+
+
+class TestVacancyBitmap:
+    def test_one_bit_per_entry_when_span_small(self):
+        vmap = VacancyBitmap(span=16)
+        assert vmap.bits == 16
+        for entry in range(16):
+            assert vmap.bit_of(entry) == entry
+            assert list(vmap.coverage(entry)) == [entry]
+
+    def test_coarse_mapping_for_large_span(self):
+        vmap = VacancyBitmap(span=128)
+        assert vmap.bits == VACANCY_BITS
+        covered = set()
+        for bit in range(vmap.bits):
+            coverage = list(vmap.coverage(bit))
+            assert coverage, "every bit must cover at least one entry"
+            covered.update(coverage)
+        assert covered == set(range(128))
+
+    def test_bit_of_matches_coverage(self):
+        vmap = VacancyBitmap(span=100)
+        for entry in range(100):
+            assert entry in vmap.coverage(vmap.bit_of(entry))
+
+    def test_compose_full_and_empty(self):
+        vmap = VacancyBitmap(span=16)
+        assert vmap.compose([True] * 16) == (1 << 16) - 1
+        assert vmap.compose([False] * 16) == 0
+
+    def test_compose_coarse_bit_requires_all_occupied(self):
+        vmap = VacancyBitmap(span=106)  # 2 entries per bit for most bits
+        occupied = [True] * 106
+        occupied[3] = False
+        bitmap = vmap.compose(occupied)
+        assert not (bitmap & (1 << vmap.bit_of(3)))
+
+    def test_first_maybe_empty_simple(self):
+        vmap = VacancyBitmap(span=16)
+        bitmap = vmap.compose([True] * 8 + [False] + [True] * 7)
+        assert vmap.first_maybe_empty(bitmap, home=2) == 8
+        assert vmap.first_maybe_empty(bitmap, home=10) == 8  # wraps
+
+    def test_first_maybe_empty_full(self):
+        vmap = VacancyBitmap(span=16)
+        assert vmap.first_maybe_empty((1 << 16) - 1, home=0) == -1
+
+    def test_first_maybe_empty_home_bit_clear(self):
+        vmap = VacancyBitmap(span=16)
+        bitmap = vmap.compose([True] * 4 + [False] + [True] * 11)
+        # Home's own bit clear: the probe must start at home itself.
+        assert vmap.first_maybe_empty(bitmap, home=4) == 4
+
+
+class TestInternalLayout:
+    def test_sizes_consistent(self):
+        layout = InternalLayout(span=64)
+        assert layout.logical_size == layout.header_size + 64 * layout.entry_size
+        assert layout.total_size % CACHE_LINE == 0
+        assert layout.lock_offset == layout.total_size - CACHE_LINE
+        assert layout.lock_offset >= layout.raw_size
+
+    def test_entry_offsets_disjoint(self):
+        layout = InternalLayout(span=8)
+        offsets = [layout.entry_offset(i) for i in range(8)]
+        for a, b in zip(offsets, offsets[1:]):
+            assert b - a == layout.entry_size
+
+    def test_bad_entry_index(self):
+        layout = InternalLayout(span=8)
+        with pytest.raises(LayoutError):
+            layout.entry_offset(8)
+
+
+class TestLeafLayout:
+    def test_replicated_blocks(self):
+        layout = LeafLayout(span=64, neighborhood=8)
+        assert layout.num_blocks == 8
+        assert layout.logical_size == 8 * layout.block_size
+
+    def test_span_must_divide(self):
+        with pytest.raises(LayoutError):
+            LeafLayout(span=60, neighborhood=8)
+
+    def test_entry_offsets_skip_replicas(self):
+        layout = LeafLayout(span=16, neighborhood=8)
+        # Entry 8 starts block 1, after its replica.
+        assert layout.entry_offset(8) == layout.block_size + layout.replica_size
+        assert layout.replica_offset(1) == layout.block_size
+
+    def test_fence_key_mode_bigger_replicas(self):
+        plain = LeafLayout(span=64, neighborhood=8, fence_keys=False)
+        fenced = LeafLayout(span=64, neighborhood=8, fence_keys=True)
+        assert fenced.replica_size == plain.replica_size + 16
+        assert fenced.logical_size > plain.logical_size
+
+    def test_unreplicated_single_header(self):
+        layout = LeafLayout(span=64, neighborhood=8, replicated=False)
+        assert layout.num_blocks == 1
+        assert layout.entry_offset(0) == layout.replica_size
+
+    def test_neighborhood_segments_aligned_home(self):
+        layout = LeafLayout(span=64, neighborhood=8)
+        segments = layout.neighborhood_segments(8)
+        assert len(segments) == 1
+        start, length = segments[0]
+        assert start == layout.replica_offset(1)  # adjacent replica included
+        assert start + length == layout.entry_offset(15) + layout.entry_size
+
+    def test_neighborhood_segments_unaligned_home(self):
+        layout = LeafLayout(span=64, neighborhood=8)
+        segments = layout.neighborhood_segments(10)
+        assert len(segments) == 1
+        start, length = segments[0]
+        assert start == layout.entry_offset(10)
+        # The block-2 replica lies inside the span (encompassed).
+        assert start < layout.replica_offset(2) < start + length
+
+    def test_neighborhood_segments_wraparound(self):
+        layout = LeafLayout(span=64, neighborhood=8)
+        segments = layout.neighborhood_segments(60)
+        assert len(segments) == 2
+        head = segments[1]
+        assert head[0] == 0  # starts at block 0's replica
+        tail = segments[0]
+        assert tail[0] == layout.entry_offset(60)
+
+    @given(st.integers(min_value=0, max_value=63))
+    @settings(max_examples=64, deadline=None)
+    def test_neighborhood_segments_cover_all_entries(self, home):
+        layout = LeafLayout(span=64, neighborhood=8)
+        segments = layout.neighborhood_segments(home)
+
+        def covered(offset):
+            return any(s <= offset and offset + layout.entry_size <= s + ln
+                       for s, ln in segments)
+
+        for step in range(8):
+            pos = (home + step) % 64
+            assert covered(layout.entry_offset(pos)), (home, pos)
+
+    def test_range_segments_include_replica(self):
+        layout = LeafLayout(span=64, neighborhood=8)
+        segments = layout.range_segments(9, 20)
+        assert segments[0][0] == layout.replica_offset(1)
+
+
+class TestInternalNodeView:
+    def test_compose_parse_roundtrip(self):
+        layout = InternalLayout(span=8)
+        entries = [(10, 0x100), (20, 0x200), (30, 0x300)]
+        view = InternalNodeView.compose(layout, level=2, fence_low=10,
+                                        fence_high=100, sibling=0x999,
+                                        entries=entries, nv=5)
+        parsed = view.parse(addr=0xABC)
+        assert parsed.level == 2
+        assert parsed.count == 3
+        assert (parsed.fence_low, parsed.fence_high) == (10, 100)
+        assert parsed.sibling == 0x999
+        assert list(zip(parsed.pivots, parsed.children)) == entries
+        assert parsed.nv == 5
+        assert view.is_consistent()
+
+    def test_find_child_binary_search(self):
+        layout = InternalLayout(span=8)
+        entries = [(0, 0xA), (10, 0xB), (20, 0xC)]
+        view = InternalNodeView.compose(layout, 1, 0, MAX_KEY, 0, entries)
+        parsed = view.parse(0)
+        assert parsed.find_child(5) == (0, 0xA)
+        assert parsed.find_child(10) == (1, 0xB)
+        assert parsed.find_child(15) == (1, 0xB)
+        assert parsed.find_child(10**9) == (2, 0xC)
+
+    def test_next_child(self):
+        layout = InternalLayout(span=8)
+        entries = [(0, 0xA), (10, 0xB)]
+        parsed = InternalNodeView.compose(layout, 1, 0, MAX_KEY, 0,
+                                          entries).parse(0)
+        assert parsed.next_child(0) == 0xB
+        assert parsed.next_child(1) is None
+
+    def test_inconsistent_after_partial_overwrite(self):
+        layout = InternalLayout(span=8)
+        view_a = InternalNodeView.compose(layout, 1, 0, MAX_KEY, 0,
+                                          [(0, 1)], nv=1)
+        view_b = InternalNodeView.compose(layout, 1, 0, MAX_KEY, 0,
+                                          [(0, 1)], nv=2)
+        torn = bytearray(view_a.span.data)
+        torn[:64] = view_b.span.data[:64]
+        from repro.layout import StripedSpan
+        observed = InternalNodeView(layout, StripedSpan(bytes(torn), 0))
+        assert not observed.is_consistent()
+
+
+class TestLeafNodeView:
+    def test_blank_entries_empty(self):
+        layout = LeafLayout(span=16, neighborhood=8)
+        view = LeafNodeView.blank(layout, sibling=0x42)
+        for index in range(16):
+            entry = view.entry(index)
+            assert not entry.occupied
+            assert entry.bitmap == 0
+        for block in range(layout.num_blocks):
+            assert view.replica_sibling(block) == 0x42
+            assert view.replica_valid(block)
+
+    def test_write_read_entry(self):
+        layout = LeafLayout(span=16, neighborhood=8)
+        view = LeafNodeView.blank(layout)
+        view.write_entry(5, key=123, value=456, bitmap=0b101)
+        entry = view.entry(5)
+        assert (entry.key, entry.value, entry.bitmap) == (123, 456, 0b101)
+        assert entry.occupied
+
+    def test_entry_ev_bumped_consistently(self):
+        layout = LeafLayout(span=16, neighborhood=8)
+        view = LeafNodeView.blank(layout)
+        view.write_entry(5, 1, 2)
+        view.write_entry(5, 3, 4)
+        evs = set(view.entry_evs(5))
+        assert evs == {2}  # two writes, all EV positions in lockstep
+
+    def test_clear_entry_keeps_bitmap(self):
+        layout = LeafLayout(span=16, neighborhood=8)
+        view = LeafNodeView.blank(layout)
+        view.write_entry(5, 1, 2, bitmap=0b11)
+        view.clear_entry(5)
+        entry = view.entry(5)
+        assert not entry.occupied
+        assert entry.bitmap == 0b11
+
+    def test_set_all_nv_resets_evs(self):
+        layout = LeafLayout(span=16, neighborhood=8)
+        view = LeafNodeView.blank(layout)
+        view.write_entry(3, 9, 9)
+        view.set_all_nv(7)
+        assert set(view.entry_evs(3)) == {0}
+        assert set(view.span.nv_nibbles()) == {7}
+        assert view.entry_nv(3) == 7
+
+    def test_items_and_occupancy(self):
+        layout = LeafLayout(span=16, neighborhood=8)
+        view = LeafNodeView.blank(layout)
+        view.write_entry(2, 10, 100)
+        view.write_entry(7, 20, 200)
+        assert view.items() == [(2, 10, 100), (7, 20, 200)]
+        occupancy = view.occupancy()
+        assert occupancy[2] and occupancy[7]
+        assert sum(occupancy) == 2
+
+    def test_argmax(self):
+        layout = LeafLayout(span=16, neighborhood=8)
+        view = LeafNodeView.blank(layout)
+        view.write_entry(2, 10, 0)
+        view.write_entry(9, 999, 0)
+        view.write_entry(12, 500, 0)
+        assert view.argmax_key() == 9
+
+    def test_fence_key_mode_replicas(self):
+        layout = LeafLayout(span=16, neighborhood=8, fence_keys=True)
+        view = LeafNodeView.blank(layout, sibling=1, fence_low=5,
+                                  fence_high=50)
+        for block in range(layout.num_blocks):
+            assert view.replica_fences(block) == (5, 50)

@@ -1,0 +1,152 @@
+"""Unit tests for memory regions, global addresses, and allocators."""
+
+import pytest
+
+from repro.errors import AllocationError, MemoryAccessError
+from repro.memory import (
+    BumpAllocator,
+    CACHE_LINE,
+    MemoryRegion,
+    NULL_ADDR,
+    addr_mn,
+    addr_offset,
+    make_addr,
+    split_addr,
+)
+
+
+class TestGlobalAddress:
+    def test_pack_unpack_roundtrip(self):
+        addr = make_addr(3, 0x123456)
+        assert split_addr(addr) == (3, 0x123456)
+        assert addr_mn(addr) == 3
+        assert addr_offset(addr) == 0x123456
+
+    def test_null_address_is_zero(self):
+        assert make_addr(0, 0) == NULL_ADDR
+
+    def test_max_fields(self):
+        addr = make_addr(0xFFFF, (1 << 48) - 1)
+        assert split_addr(addr) == (0xFFFF, (1 << 48) - 1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(MemoryAccessError):
+            make_addr(1 << 16, 0)
+        with pytest.raises(MemoryAccessError):
+            make_addr(0, 1 << 48)
+        with pytest.raises(MemoryAccessError):
+            make_addr(-1, 0)
+
+
+class TestMemoryRegion:
+    def test_read_write_roundtrip(self):
+        region = MemoryRegion(1024)
+        region.write(100, b"hello world")
+        assert region.read(100, 11) == b"hello world"
+
+    def test_fresh_region_is_zeroed(self):
+        region = MemoryRegion(64)
+        assert region.read(0, 64) == bytes(64)
+
+    def test_bounds_checked(self):
+        region = MemoryRegion(64)
+        with pytest.raises(MemoryAccessError):
+            region.read(60, 8)
+        with pytest.raises(MemoryAccessError):
+            region.write(-1, b"x")
+        with pytest.raises(MemoryAccessError):
+            region.write(60, b"12345")
+
+    def test_u64_roundtrip(self):
+        region = MemoryRegion(64)
+        region.write_u64(8, 0xDEADBEEFCAFEBABE)
+        assert region.read_u64(8) == 0xDEADBEEFCAFEBABE
+
+    def test_cas_success_and_failure(self):
+        region = MemoryRegion(64)
+        region.write_u64(0, 7)
+        old, ok = region.cas(0, 7, 9)
+        assert (old, ok) == (7, True)
+        assert region.read_u64(0) == 9
+        old, ok = region.cas(0, 7, 11)
+        assert (old, ok) == (9, False)
+        assert region.read_u64(0) == 9
+
+    def test_masked_cas_compares_only_masked_bits(self):
+        region = MemoryRegion(64)
+        # Word holds lock bit 0 = free, upper bits = arbitrary bitmap.
+        region.write_u64(0, 0xABCD_0000_0000_0000)
+        old, ok = region.masked_cas(0, compare=0, swap=1,
+                                    compare_mask=0x1,
+                                    swap_mask=0xFFFFFFFFFFFFFFFF)
+        assert ok
+        # Old value returns the *full* word (vacancy-bitmap piggybacking).
+        assert old == 0xABCD_0000_0000_0000
+        assert region.read_u64(0) == 1
+
+    def test_masked_cas_swap_mask_restricts_update(self):
+        region = MemoryRegion(64)
+        region.write_u64(0, 0xFF00)
+        old, ok = region.masked_cas(0, compare=0, swap=0x1,
+                                    compare_mask=0x1, swap_mask=0x1)
+        assert ok and old == 0xFF00
+        # Only the lock bit changed; the rest of the word survived.
+        assert region.read_u64(0) == 0xFF01
+
+    def test_masked_cas_failure_leaves_memory(self):
+        region = MemoryRegion(64)
+        region.write_u64(0, 1)  # locked
+        old, ok = region.masked_cas(0, compare=0, swap=1,
+                                    compare_mask=0x1,
+                                    swap_mask=0xFFFFFFFFFFFFFFFF)
+        assert not ok
+        assert old == 1
+        assert region.read_u64(0) == 1
+
+    def test_faa_wraps_at_64_bits(self):
+        region = MemoryRegion(64)
+        region.write_u64(0, 0xFFFFFFFFFFFFFFFF)
+        old = region.faa(0, 1)
+        assert old == 0xFFFFFFFFFFFFFFFF
+        assert region.read_u64(0) == 0
+
+
+class TestBumpAllocator:
+    def test_never_returns_null(self):
+        alloc = BumpAllocator(0, 1 << 20)
+        addr = alloc.alloc(128)
+        assert addr != NULL_ADDR
+        assert addr_offset(addr) >= CACHE_LINE
+
+    def test_alignment(self):
+        alloc = BumpAllocator(0, 1 << 20)
+        alloc.alloc(10)
+        addr = alloc.alloc(10)
+        assert addr_offset(addr) % CACHE_LINE == 0
+
+    def test_encodes_mn_id(self):
+        alloc = BumpAllocator(5, 1 << 20)
+        assert addr_mn(alloc.alloc(64)) == 5
+
+    def test_exhaustion_raises(self):
+        alloc = BumpAllocator(0, 1024)
+        alloc.alloc(512)
+        with pytest.raises(AllocationError):
+            alloc.alloc(1024)
+
+    def test_distinct_allocations_do_not_overlap(self):
+        alloc = BumpAllocator(0, 1 << 20)
+        spans = []
+        for size in (64, 100, 128, 1, 63):
+            addr = alloc.alloc(size)
+            spans.append((addr_offset(addr), size))
+        spans.sort()
+        for (off_a, size_a), (off_b, _) in zip(spans, spans[1:]):
+            assert off_a + size_a <= off_b
+
+    def test_bad_args(self):
+        alloc = BumpAllocator(0, 1024)
+        with pytest.raises(AllocationError):
+            alloc.alloc(0)
+        with pytest.raises(AllocationError):
+            alloc.alloc(10, align=3)

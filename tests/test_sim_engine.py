@@ -1,0 +1,263 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine, Interrupted
+
+
+def test_timeout_advances_clock():
+    engine = Engine()
+    log = []
+
+    def proc():
+        yield engine.timeout(1.5)
+        log.append(engine.now)
+        yield engine.timeout(0.5)
+        log.append(engine.now)
+
+    engine.process(proc())
+    engine.run()
+    assert log == [1.5, 2.0]
+
+
+def test_timeout_value_delivered():
+    engine = Engine()
+    seen = []
+
+    def proc():
+        value = yield engine.timeout(1.0, value="payload")
+        seen.append(value)
+
+    engine.process(proc())
+    engine.run()
+    assert seen == ["payload"]
+
+
+def test_negative_timeout_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.timeout(-1.0)
+
+
+def test_process_return_value_via_yield_from():
+    engine = Engine()
+    results = []
+
+    def inner():
+        yield engine.timeout(1.0)
+        return 42
+
+    def outer():
+        value = yield from inner()
+        results.append((engine.now, value))
+
+    engine.process(outer())
+    engine.run()
+    assert results == [(1.0, 42)]
+
+
+def test_waiting_on_process_event():
+    engine = Engine()
+    results = []
+
+    def worker():
+        yield engine.timeout(2.0)
+        return "done"
+
+    def waiter():
+        proc = engine.process(worker())
+        value = yield proc
+        results.append((engine.now, value))
+
+    engine.process(waiter())
+    engine.run()
+    assert results == [(2.0, "done")]
+
+
+def test_events_same_time_fifo_order():
+    engine = Engine()
+    order = []
+
+    def proc(tag):
+        yield engine.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(5):
+        engine.process(proc(tag))
+    engine.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_all_of_collects_values():
+    engine = Engine()
+    results = []
+
+    def proc():
+        events = [engine.timeout(d, value=d) for d in (3.0, 1.0, 2.0)]
+        values = yield engine.all_of(events)
+        results.append((engine.now, values))
+
+    engine.process(proc())
+    engine.run()
+    assert results == [(3.0, [3.0, 1.0, 2.0])]
+
+
+def test_all_of_with_already_triggered_children():
+    engine = Engine()
+    results = []
+
+    def proc():
+        first = engine.timeout(1.0, value="a")
+        yield engine.timeout(2.0)  # first has already fired by now
+        values = yield engine.all_of([first, engine.timeout(1.0, value="b")])
+        results.append((engine.now, values))
+
+    engine.process(proc())
+    engine.run()
+    assert results == [(3.0, ["a", "b"])]
+
+
+def test_all_of_empty_triggers_immediately():
+    engine = Engine()
+    results = []
+
+    def proc():
+        values = yield engine.all_of([])
+        results.append((engine.now, values))
+
+    engine.process(proc())
+    engine.run()
+    assert results == [(0.0, [])]
+
+
+def test_any_of_returns_first():
+    engine = Engine()
+    results = []
+
+    def proc():
+        events = [engine.timeout(3.0, value="slow"),
+                  engine.timeout(1.0, value="fast")]
+        index, value = yield engine.any_of(events)
+        results.append((engine.now, index, value))
+
+    engine.process(proc())
+    engine.run()
+    assert results == [(1.0, 1, "fast")]
+
+
+def test_uncaught_process_exception_propagates():
+    engine = Engine()
+
+    def proc():
+        yield engine.timeout(1.0)
+        raise ValueError("boom")
+
+    engine.process(proc())
+    with pytest.raises(ValueError, match="boom"):
+        engine.run()
+
+
+def test_exception_thrown_into_waiter():
+    engine = Engine()
+    caught = []
+
+    def worker():
+        yield engine.timeout(1.0)
+        raise RuntimeError("worker failed")
+
+    def waiter():
+        proc = engine.process(worker())
+        try:
+            yield proc
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    engine.process(waiter())
+    engine.run()
+    assert caught == ["worker failed"]
+
+
+def test_event_succeed_twice_is_error():
+    engine = Engine()
+    event = engine.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_run_until_stops_early():
+    engine = Engine()
+    log = []
+
+    def proc():
+        while True:
+            yield engine.timeout(1.0)
+            log.append(engine.now)
+
+    engine.process(proc())
+    end = engine.run(until=3.5)
+    assert end == 3.5
+    assert log == [1.0, 2.0, 3.0]
+
+
+def test_run_until_with_empty_heap_advances_clock():
+    engine = Engine()
+    end = engine.run(until=10.0)
+    assert end == 10.0
+    assert engine.now == 10.0
+
+
+def test_interrupt_wakes_sleeping_process():
+    engine = Engine()
+    log = []
+
+    def sleeper():
+        try:
+            yield engine.timeout(100.0)
+            log.append("slept")
+        except Interrupted as interrupt:
+            log.append(("interrupted", engine.now, interrupt.cause))
+
+    def interrupter(target):
+        yield engine.timeout(2.0)
+        target.interrupt()
+
+    target = engine.process(sleeper())
+    engine.process(interrupter(target))
+    engine.run()
+    assert log == [("interrupted", 2.0, None)]
+
+
+def test_yield_non_event_fails_process():
+    engine = Engine()
+
+    def bad():
+        yield "not an event"
+
+    def waiter():
+        proc = engine.process(bad())
+        with pytest.raises(SimulationError):
+            yield proc
+
+    engine.process(waiter())
+    engine.run()
+
+
+def test_deterministic_interleaving_repeatable():
+    def run_once():
+        engine = Engine()
+        order = []
+
+        def proc(tag, delay):
+            for _ in range(3):
+                yield engine.timeout(delay)
+                order.append((tag, engine.now))
+
+        engine.process(proc("a", 1.0))
+        engine.process(proc("b", 1.0))
+        engine.process(proc("c", 0.5))
+        engine.run()
+        return order
+
+    assert run_once() == run_once()

@@ -1,0 +1,131 @@
+"""Property-based tests of the simulation engine's scheduling invariants.
+
+Every experiment's validity rests on these: events fire in time order,
+FIFO servers never reorder, and identical seeds give identical runs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine
+from repro.sim.resources import QueueServer
+
+delays = st.lists(st.floats(min_value=0.0, max_value=100.0,
+                            allow_nan=False, allow_infinity=False),
+                  min_size=1, max_size=40)
+
+
+class TestEventOrdering:
+    @given(delays)
+    @settings(max_examples=50, deadline=None)
+    def test_timeouts_fire_in_time_order(self, waits):
+        engine = Engine()
+        fired = []
+
+        def waiter(delay, tag):
+            yield engine.timeout(delay)
+            fired.append((engine.now, delay, tag))
+
+        for tag, delay in enumerate(waits):
+            engine.process(waiter(delay, tag))
+        engine.run()
+        assert len(fired) == len(waits)
+        times = [t for t, _d, _g in fired]
+        assert times == sorted(times)
+        for now, delay, _tag in fired:
+            assert now == delay
+
+    @given(delays)
+    @settings(max_examples=50, deadline=None)
+    def test_equal_times_fire_in_creation_order(self, waits):
+        engine = Engine()
+        fired = []
+        fixed = waits[0]
+
+        def waiter(tag):
+            yield engine.timeout(fixed)
+            fired.append(tag)
+
+        for tag in range(len(waits)):
+            engine.process(waiter(tag))
+        engine.run()
+        assert fired == list(range(len(waits)))
+
+    @given(delays)
+    @settings(max_examples=30, deadline=None)
+    def test_run_until_never_overshoots(self, waits):
+        engine = Engine()
+
+        def waiter(delay):
+            yield engine.timeout(delay)
+
+        for delay in waits:
+            engine.process(waiter(delay))
+        horizon = max(waits) / 2
+        end = engine.run(until=horizon)
+        assert end == horizon
+        assert engine.now == horizon
+
+
+class TestQueueServerProperties:
+    services = st.lists(st.floats(min_value=0.0, max_value=10.0,
+                                  allow_nan=False, allow_infinity=False),
+                        min_size=1, max_size=30)
+
+    @given(services)
+    @settings(max_examples=50, deadline=None)
+    def test_single_slot_fifo_and_work_conserving(self, service_times):
+        engine = Engine()
+        server = QueueServer(engine, slots=1)
+        completions = []
+
+        def client(tag, service):
+            yield server.request(service)
+            completions.append((tag, engine.now))
+
+        for tag, service in enumerate(service_times):
+            engine.process(client(tag, service))
+        engine.run()
+        # FIFO: completion order equals submission order.
+        assert [tag for tag, _t in completions] == \
+            list(range(len(service_times)))
+        # Work conservation: last completion = sum of all service times
+        # (all requests arrived at t=0; the server never idles).
+        assert completions[-1][1] == sum(service_times)
+        assert server.served == len(service_times)
+
+    @given(services, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=50, deadline=None)
+    def test_multi_slot_never_slower_than_single(self, service_times, slots):
+        def makespan(num_slots):
+            engine = Engine()
+            server = QueueServer(engine, slots=num_slots)
+
+            def client(service):
+                yield server.request(service)
+
+            for service in service_times:
+                engine.process(client(service))
+            return engine.run()
+
+        assert makespan(slots) <= makespan(1) + 1e-9
+
+    @given(delays)
+    @settings(max_examples=30, deadline=None)
+    def test_determinism(self, waits):
+        def run_once():
+            engine = Engine()
+            server = QueueServer(engine, slots=2)
+            log = []
+
+            def client(tag, delay):
+                yield engine.timeout(delay)
+                yield server.request(delay / 2)
+                log.append((tag, engine.now))
+
+            for tag, delay in enumerate(waits):
+                engine.process(client(tag, delay))
+            engine.run()
+            return log
+
+        assert run_once() == run_once()

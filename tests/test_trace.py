@@ -1,0 +1,62 @@
+"""Tests for the verb-level tracer."""
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.core import ChimeIndex
+from repro.memory import make_addr
+from repro.rdma.trace import QpTracer
+
+
+def test_raw_verbs_traced():
+    cluster = Cluster(ClusterConfig(region_bytes=1 << 22))
+    ctx = cluster.cns[0].clients[0]
+    tracer = QpTracer(ctx.qp)
+    addr = make_addr(0, 4096)
+
+    def gen():
+        with tracer:
+            yield from ctx.qp.write(addr, b"abc")
+            yield from ctx.qp.read(addr, 3)
+            yield from ctx.qp.cas(addr + 64, 0, 1)
+        yield from ctx.qp.read(addr, 3)  # outside: not traced
+
+    cluster.engine.process(gen())
+    cluster.run()
+    kinds = [r.kind for r in tracer.records]
+    assert kinds == ["write", "read", "cas"]
+    summary = tracer.summary()
+    assert summary["round_trips"] == 3
+    assert summary["bytes"] == 3 + 3 + 8
+
+
+def test_index_operation_budget_matches_table1():
+    """A traced warm-cache CHIME search costs exactly one READ."""
+    cluster = Cluster(ClusterConfig(region_bytes=1 << 24,
+                                    cache_bytes=1 << 22))
+    index = ChimeIndex(cluster)
+    index.bulk_load([(k, k) for k in range(1, 2001)])
+    client = index.client(cluster.cns[0].clients[0])
+    tracer = QpTracer(client.qp)
+
+    def gen():
+        yield from client.search(700)  # warm traversal
+        with tracer:
+            yield from client.search(701)
+
+    cluster.engine.process(gen())
+    cluster.run()
+    summary = tracer.summary()
+    assert summary["round_trips"] <= 2  # 1 read (+1 if speculation missed)
+    assert all(r.kind in ("read", "read_batch") for r in tracer.records)
+
+
+def test_tracer_restores_methods():
+    from repro.rdma.verbs import RdmaQp
+    cluster = Cluster(ClusterConfig(region_bytes=1 << 22))
+    qp = cluster.cns[0].clients[0].qp
+    tracer = QpTracer(qp)
+    tracer.start()
+    assert "read" in vars(qp)  # class method shadowed per instance
+    tracer.stop()
+    assert "read" not in vars(qp)
+    assert qp.read.__func__ is RdmaQp.read

@@ -1,0 +1,225 @@
+"""Tests for variable-length key support (fingerprint + block chains)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.core.varkey import (
+    VarKeyChimeIndex,
+    decode_block_header,
+    encode_block,
+    fingerprint_of,
+)
+
+
+def make_index(pairs):
+    cluster = Cluster(ClusterConfig(num_cns=1, clients_per_cn=4,
+                                    cache_bytes=1 << 24,
+                                    region_bytes=1 << 25))
+    index = VarKeyChimeIndex(cluster)
+    index.bulk_load_var(pairs)
+    return cluster, index
+
+
+def drive(cluster, *gens):
+    results = [None] * len(gens)
+
+    def wrap(i, gen):
+        def runner():
+            results[i] = yield from gen
+        return runner()
+
+    for i, gen in enumerate(gens):
+        cluster.engine.process(wrap(i, gen))
+    cluster.run()
+    return results
+
+
+BASE_PAIRS = [(f"user{k:08d}".encode(), f"value-{k}".encode())
+              for k in range(1, 1001)]
+
+
+class TestFingerprint:
+    def test_prefix_order_preserving(self):
+        keys = [b"aaa", b"aab", b"b", b"zzzzzzzzz"]
+        fps = [fingerprint_of(k) for k in keys]
+        assert fps == sorted(fps)
+
+    def test_shared_prefix_collides(self):
+        assert fingerprint_of(b"prefix0001") == fingerprint_of(b"prefix0002")
+
+    def test_short_keys_padded(self):
+        assert fingerprint_of(b"a") == fingerprint_of(b"a\x00\x00")
+
+    def test_zero_clamped(self):
+        assert fingerprint_of(b"\x00") == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(Exception):
+            fingerprint_of(b"")
+
+
+class TestBlockCodec:
+    def test_roundtrip(self):
+        block = encode_block(0xABC, b"key-bytes", b"value-bytes")
+        next_ptr, key_len, value_len = decode_block_header(block)
+        assert (next_ptr, key_len, value_len) == (0xABC, 9, 11)
+        payload = block[16:]
+        assert payload[:key_len] == b"key-bytes"
+        assert payload[key_len:key_len + value_len] == b"value-bytes"
+
+
+class TestVarKeyOps:
+    def test_bulk_load_roundtrip(self):
+        _cluster, index = make_index(BASE_PAIRS)
+        assert index.collect_var_items() == sorted(BASE_PAIRS)
+
+    def test_search(self):
+        cluster, index = make_index(BASE_PAIRS)
+        client = index.client(cluster.cns[0].clients[0])
+
+        def gen():
+            hit = yield from client.search_var(b"user00000500")
+            miss = yield from client.search_var(b"user99999999")
+            return hit, miss
+
+        (hit, miss), = drive(cluster, gen())
+        assert hit == b"value-500"
+        assert miss is None
+
+    def test_insert_update_delete(self):
+        cluster, index = make_index(BASE_PAIRS)
+        client = index.client(cluster.cns[0].clients[0])
+
+        def gen():
+            yield from client.insert_var(b"zzz-new-key", b"fresh")
+            ins = yield from client.search_var(b"zzz-new-key")
+            yield from client.update_var(b"user00000500", b"overwritten")
+            upd = yield from client.search_var(b"user00000500")
+            dele = yield from client.delete_var(b"user00000007")
+            gone = yield from client.search_var(b"user00000007")
+            absent = yield from client.delete_var(b"never-there")
+            return ins, upd, dele, gone, absent
+
+        (ins, upd, dele, gone, absent), = drive(cluster, gen())
+        assert ins == b"fresh"
+        assert upd == b"overwritten"
+        assert dele is True
+        assert gone is None
+        assert absent is False
+
+    def test_long_keys_and_values(self):
+        cluster, index = make_index(BASE_PAIRS)
+        client = index.client(cluster.cns[0].clients[0])
+        long_key = b"x" * 100
+        long_value = b"y" * 300
+
+        def gen():
+            yield from client.insert_var(long_key, long_value)
+            return (yield from client.search_var(long_key))
+
+        value, = drive(cluster, gen())
+        assert value == long_value
+
+    def test_fingerprint_collisions_chain(self):
+        """Keys sharing an 8-byte prefix collide and must chain."""
+        colliding = [(b"shared-prefix-" + bytes([c]), bytes([c]) * 3)
+                     for c in range(65, 75)]
+        cluster, index = make_index(BASE_PAIRS)
+        client = index.client(cluster.cns[0].clients[0])
+
+        def gen():
+            for key, value in colliding:
+                yield from client.insert_var(key, value)
+            values = []
+            for key, _ in colliding:
+                values.append((yield from client.search_var(key)))
+            return values
+
+        values, = drive(cluster, gen())
+        assert values == [v for _, v in colliding]
+        # All ten share one fingerprint -> one leaf entry, chained blocks.
+        fps = {fingerprint_of(k) for k, _ in colliding}
+        assert len(fps) == 1
+
+    def test_collision_delete_mid_chain(self):
+        colliding = [(b"prefix00" + bytes([c]), bytes([c]))
+                     for c in range(65, 70)]
+        cluster, index = make_index([])
+        client = index.client(cluster.cns[0].clients[0])
+
+        def gen():
+            for key, value in colliding:
+                yield from client.insert_var(key, value)
+            yield from client.delete_var(colliding[2][0])
+            out = []
+            for key, _ in colliding:
+                out.append((yield from client.search_var(key)))
+            return out
+
+        values, = drive(cluster, gen())
+        for i, (key, value) in enumerate(colliding):
+            assert values[i] == (None if i == 2 else value)
+
+    def test_collision_update_in_chain(self):
+        colliding = [(b"prefix00" + bytes([c]), bytes([c]))
+                     for c in range(65, 70)]
+        cluster, index = make_index([])
+        client = index.client(cluster.cns[0].clients[0])
+
+        def gen():
+            for key, value in colliding:
+                yield from client.insert_var(key, value)
+            yield from client.update_var(colliding[3][0], b"NEW")
+            return (yield from client.search_var(colliding[3][0]))
+
+        value, = drive(cluster, gen())
+        assert value == b"NEW"
+
+    def test_bulk_load_with_collisions(self):
+        colliding = sorted(
+            [(b"samepref" + bytes([c]), bytes([c])) for c in range(60, 80)])
+        _cluster, index = make_index(colliding)
+        assert index.collect_var_items() == colliding
+
+    def test_concurrent_disjoint_inserts(self):
+        cluster, index = make_index(BASE_PAIRS)
+        clients = [index.client(ctx) for ctx in cluster.clients()]
+        keys = [(f"bulkkey{i:08d}".encode(), f"v{i}".encode())
+                for i in range(400)]
+        per = len(keys) // len(clients)
+
+        def worker(client, chunk):
+            for key, value in chunk:
+                yield from client.insert_var(key, value)
+
+        drive(cluster, *[worker(c, keys[i * per:(i + 1) * per])
+                         for i, c in enumerate(clients)])
+        items = dict(index.collect_var_items())
+        for key, value in keys:
+            assert items[key] == value
+
+    @given(st.lists(st.tuples(
+        st.binary(min_size=1, max_size=24),
+        st.binary(min_size=0, max_size=40)), min_size=1, max_size=40,
+        unique_by=lambda kv: kv[0]))
+    @settings(max_examples=15, deadline=None)
+    def test_property_matches_dict_model(self, pairs):
+        cluster, index = make_index([])
+        client = index.client(cluster.cns[0].clients[0])
+        model = {}
+
+        def gen():
+            for key, value in pairs:
+                yield from client.insert_var(key, value)
+                model[key] = value
+            for key, expected in model.items():
+                value = yield from client.search_var(key)
+                assert value == expected, (key, value, expected)
+
+        drive(cluster, gen())
+        assert dict(index.collect_var_items()) == model
