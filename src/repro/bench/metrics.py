@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.rdma.ops import TrafficStats
 
@@ -31,6 +31,17 @@ class RunResult:
     cache_bytes_used: int = 0
     cache_hit_ratio: float = 0.0
     notes: Dict[str, float] = field(default_factory=dict)
+    #: Memoized (length, sorted copy) of ``latencies_us``; percentile
+    #: properties re-sort only when the list has grown since.
+    _sorted_cache: Optional[Tuple[int, List[float]]] = \
+        field(default=None, repr=False, compare=False)
+
+    def _sorted_latencies(self) -> List[float]:
+        cache = self._sorted_cache
+        if cache is None or cache[0] != len(self.latencies_us):
+            cache = (len(self.latencies_us), sorted(self.latencies_us))
+            self._sorted_cache = cache
+        return cache[1]
 
     @property
     def throughput_mops(self) -> float:
@@ -41,11 +52,15 @@ class RunResult:
 
     @property
     def p50_us(self) -> float:
-        return percentile(sorted(self.latencies_us), 0.50)
+        return percentile(self._sorted_latencies(), 0.50)
 
     @property
     def p99_us(self) -> float:
-        return percentile(sorted(self.latencies_us), 0.99)
+        return percentile(self._sorted_latencies(), 0.99)
+
+    @property
+    def p999_us(self) -> float:
+        return percentile(self._sorted_latencies(), 0.999)
 
     @property
     def avg_us(self) -> float:
@@ -75,6 +90,7 @@ class RunResult:
             "throughput_mops": round(self.throughput_mops, 4),
             "p50_us": round(self.p50_us, 2),
             "p99_us": round(self.p99_us, 2),
+            "p999_us": round(self.p999_us, 2),
             "rtts_per_op": round(self.rtts_per_op, 2),
             "read_bytes_per_op": round(self.read_bytes_per_op, 1),
             "retries": self.traffic.retries,

@@ -29,6 +29,7 @@ from repro.cluster.cluster import Cluster
 from repro.config import ChimeConfig, ClusterConfig
 from repro.core import ChimeIndex
 from repro.errors import WorkloadError
+from repro.obs import active_recording
 from repro.workloads.ycsb import (
     INSERT,
     READ_MODIFY_WRITE,
@@ -145,7 +146,7 @@ def run_workload(cluster: Cluster, index, workload_name: str,
     hit_ratio = (sum(cn.cache.hits for cn in cluster.cns)
                  / max(1, sum(cn.cache.hits + cn.cache.misses
                               for cn in cluster.cns)))
-    return RunResult(
+    result = RunResult(
         index_name=getattr(index, "name", type(index).__name__),
         workload=workload_name,
         num_clients=len(clients),
@@ -156,6 +157,10 @@ def run_workload(cluster: Cluster, index, workload_name: str,
         cache_bytes_used=cluster.cache_bytes_used(),
         cache_hit_ratio=hit_ratio,
     )
+    recording = active_recording()
+    if recording is not None:
+        result.notes.update(recording.notes())
+    return result
 
 
 def run_point(index_name: str, workload_name: str, num_keys: int,

@@ -6,19 +6,30 @@ Usage::
     python -m repro run fig3d
     python -m repro run fig12 --scale quick
     python -m repro run table1 --out results.txt
+    python -m repro run table1 --trace table1.json   # Chrome trace
+    python -m repro run fig12 --format csv --seed 7
     python -m repro run all --scale quick
+    python -m repro trace --index chime --workload C --out trace.json
 
 Figure names map to the experiment functions of
 :mod:`repro.bench.experiments`; ``--scale`` picks a preset from
-:mod:`repro.bench.scale`.
+:mod:`repro.bench.scale`.  ``--trace`` records per-operation phase spans
+via :mod:`repro.obs` and writes them as Chrome trace-event JSON (open in
+``chrome://tracing`` or https://ui.perfetto.dev).  The ``trace``
+subcommand runs a single workload point under full observability and
+prints the latency flame summary plus the metrics snapshot.
 """
 
 from __future__ import annotations
 
 import argparse
+import csv
+import dataclasses
+import io
+import json
 import sys
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.bench import PRESETS, Scale
 from repro.bench.report import format_table
@@ -61,6 +72,112 @@ def run_experiment(name: str, scale: Scale) -> List[dict]:
     return func(scale) if wants_scale else func()
 
 
+def format_rows(rows: Sequence[dict], fmt: str, title: str = "") -> str:
+    """Render experiment rows as a table, CSV, or JSON document."""
+    if fmt == "table":
+        return format_table(rows, title=title)
+    if fmt == "csv":
+        sink = io.StringIO()
+        columns: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        writer = csv.DictWriter(sink, fieldnames=columns, restval="")
+        writer.writeheader()
+        writer.writerows(rows)
+        return sink.getvalue().rstrip("\n")
+    if fmt == "json":
+        return json.dumps({"figure": title, "rows": list(rows)}, indent=2)
+    raise ValueError(f"unknown format {fmt!r}")
+
+
+def _apply_seed(scale: Scale, seed: Optional[int]) -> Scale:
+    if seed is None:
+        return scale
+    return dataclasses.replace(scale, seed=seed)
+
+
+def _cmd_run(args) -> int:
+    names = list(EXPERIMENTS) if args.figure == "all" else [args.figure]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}; "
+              f"try 'python -m repro list'", file=sys.stderr)
+        return 2
+    scale = _apply_seed(PRESETS[args.scale], args.seed)
+
+    recorder = None
+    if args.trace:
+        try:
+            open(args.trace, "a").close()  # fail before the run, not after
+        except OSError as exc:
+            print(f"cannot write trace file: {exc}", file=sys.stderr)
+            return 2
+        from repro import obs
+        recorder = obs.recording()
+        recorder.__enter__()
+    try:
+        for name in names:
+            started = time.time()
+            rows = run_experiment(name, scale)
+            rendered = format_rows(rows, args.format,
+                                   title=f"{name} (scale={scale.name})")
+            print(rendered)
+            if args.format == "table":
+                print(f"[{name}: {time.time() - started:.1f}s]\n")
+            if args.out:
+                with open(args.out, "a") as sink:
+                    sink.write(rendered + "\n\n")
+    finally:
+        if recorder is not None:
+            recorder.__exit__(None, None, None)
+    if recorder is not None:
+        from repro.obs import write_chrome_trace
+        write_chrome_trace(recorder.spans, args.trace,
+                           metadata={"figures": names,
+                                     "scale": scale.name,
+                                     "seed": scale.seed})
+        print(f"[trace: {len(recorder.spans)} spans -> {args.trace}]",
+              file=sys.stderr)  # keep stdout clean for --format json/csv
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro import obs
+    from repro.bench.runner import run_point
+    from repro.errors import WorkloadError
+    from repro.workloads.ycsb import WORKLOADS
+
+    if args.workload not in WORKLOADS:
+        print(f"unknown workload {args.workload!r}; "
+              f"choose from {', '.join(sorted(WORKLOADS))}", file=sys.stderr)
+        return 2
+    scale = _apply_seed(PRESETS[args.scale], args.seed)
+    config = scale.cluster_config(clients=args.clients)
+    try:
+        with obs.recording() as recorder:
+            result = run_point(args.index, args.workload, scale.num_keys,
+                               args.ops or scale.ops_per_client, config,
+                               chime_overrides=scale.chime_overrides()
+                               if args.index.startswith("chime") else None)
+    except WorkloadError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(format_table([result.summary()],
+                       title=f"{args.index} / YCSB-{args.workload} "
+                             f"(scale={scale.name}, seed={scale.seed})"))
+    print()
+    print(obs.flame_summary(recorder.spans))
+    if args.out:
+        obs.write_chrome_trace(
+            recorder.spans, args.out,
+            metadata={"index": args.index, "workload": args.workload,
+                      "scale": scale.name, "seed": scale.seed})
+        print(f"\n[trace: {len(recorder.spans)} spans -> {args.out}]")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -68,13 +185,40 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "the simulated DM cluster.")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available figures")
+
     run_parser = sub.add_parser("run", help="run one figure (or 'all')")
     run_parser.add_argument("figure", help="figure name or 'all'")
     run_parser.add_argument("--scale", default="quick",
                             choices=sorted(PRESETS),
                             help="scaling preset (default: quick)")
     run_parser.add_argument("--out", default=None,
-                            help="also append tables to this file")
+                            help="also append output to this file")
+    run_parser.add_argument("--format", default="table",
+                            choices=("table", "csv", "json"),
+                            help="output format (default: table)")
+    run_parser.add_argument("--seed", type=int, default=None,
+                            help="override the preset's RNG seed")
+    run_parser.add_argument("--trace", default=None, metavar="PATH",
+                            help="record per-op phase spans and write a "
+                                 "Chrome trace-event JSON file")
+
+    trace_parser = sub.add_parser(
+        "trace", help="trace one workload point (spans + metrics)")
+    trace_parser.add_argument("--index", default="chime",
+                              help="index legend name (default: chime)")
+    trace_parser.add_argument("--workload", default="C",
+                              help="YCSB workload letter (default: C)")
+    trace_parser.add_argument("--scale", default="quick",
+                              choices=sorted(PRESETS),
+                              help="scaling preset (default: quick)")
+    trace_parser.add_argument("--clients", type=int, default=None,
+                              help="total client count (default: preset)")
+    trace_parser.add_argument("--ops", type=int, default=None,
+                              help="ops per client (default: preset)")
+    trace_parser.add_argument("--seed", type=int, default=None,
+                              help="override the preset's RNG seed")
+    trace_parser.add_argument("--out", default=None, metavar="PATH",
+                              help="write Chrome trace-event JSON here")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -84,24 +228,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         except BrokenPipeError:  # e.g. `python -m repro list | head`
             pass
         return 0
-
-    names = list(EXPERIMENTS) if args.figure == "all" else [args.figure]
-    unknown = [n for n in names if n not in EXPERIMENTS]
-    if unknown:
-        print(f"unknown figure(s): {', '.join(unknown)}; "
-              f"try 'python -m repro list'", file=sys.stderr)
-        return 2
-    scale = PRESETS[args.scale]
-    for name in names:
-        started = time.time()
-        rows = run_experiment(name, scale)
-        table = format_table(rows, title=f"{name} (scale={scale.name})")
-        print(table)
-        print(f"[{name}: {time.time() - started:.1f}s]\n")
-        if args.out:
-            with open(args.out, "a") as sink:
-                sink.write(table + "\n\n")
-    return 0
+    if args.command == "trace":
+        return _cmd_trace(args)
+    return _cmd_run(args)
 
 
 if __name__ == "__main__":

@@ -16,6 +16,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Optional
 
+from repro.obs.bus import BUS
+
 
 class IndexCache:
     """Byte-budgeted LRU cache keyed by remote node address."""
@@ -41,9 +43,13 @@ class IndexCache:
         entry = self._entries.get(addr)
         if entry is None:
             self.misses += 1
+            if BUS.active:
+                BUS.emit("cache.miss", addr=addr)
             return None
         self._entries.move_to_end(addr)
         self.hits += 1
+        if BUS.active:
+            BUS.emit("cache.hit", addr=addr)
         return entry[0]
 
     def peek(self, addr: int) -> Optional[Any]:
@@ -62,9 +68,13 @@ class IndexCache:
             return
         if self.capacity_bytes is not None:
             while self._entries and self.bytes_used + nbytes > self.capacity_bytes:
-                _addr, (_node, evicted_bytes) = self._entries.popitem(last=False)
+                evicted_addr, (_node, evicted_bytes) = \
+                    self._entries.popitem(last=False)
                 self.bytes_used -= evicted_bytes
                 self.evictions += 1
+                if BUS.active:
+                    BUS.emit("cache.evict", addr=evicted_addr,
+                             bytes=evicted_bytes)
         self._entries[addr] = (node, nbytes)
         self.bytes_used += nbytes
 
@@ -75,6 +85,8 @@ class IndexCache:
             return False
         self.bytes_used -= entry[1]
         self.invalidations += 1
+        if BUS.active:
+            BUS.emit("cache.invalidate", addr=addr, bytes=entry[1])
         return True
 
     def clear(self) -> None:

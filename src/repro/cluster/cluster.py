@@ -7,6 +7,7 @@ from typing import Dict, Iterator, List
 from repro.cluster.compute import ClientContext, ComputeNode
 from repro.config import ClusterConfig
 from repro.memory.node import MemoryNode
+from repro.obs.bus import BUS
 from repro.rdma.ops import TrafficStats
 from repro.sim.engine import Engine
 
@@ -31,6 +32,10 @@ class Cluster:
             ComputeNode(self.engine, cn_id, config, self.mns)
             for cn_id in range(config.num_cns)
         ]
+        # Timestamp source for bus emitters without an engine reference
+        # (cache, sync checks).  Last constructed cluster wins, which is
+        # right for the one-cluster-at-a-time experiment flow.
+        BUS.set_clock(lambda: self.engine.now)
 
     def clients(self) -> Iterator[ClientContext]:
         """All client contexts, grouped by CN."""
@@ -53,5 +58,15 @@ class Cluster:
         return sum(cn.cache.bytes_used for cn in self.cns)
 
     def run(self, until=None) -> float:
-        """Drive the simulation (delegates to the engine)."""
+        """Drive the simulation (delegates to the engine).
+
+        While the observability bus has subscribers, a sampling hook on
+        the engine publishes scheduler progress (``sim.tick`` events).
+        """
+        if BUS.active and self.engine.trace_hook is None:
+            self.engine.trace_hook = (
+                lambda now, events, heap: BUS.emit(
+                    "sim.tick", now, events=events, heap=heap))
+        elif not BUS.active:
+            self.engine.trace_hook = None
         return self.engine.run(until=until)

@@ -31,6 +31,7 @@ from repro.core.nodes import InternalNodeView, ParsedInternal
 from repro.core.sync import MAX_RETRIES, backoff_delay
 from repro.errors import IndexError_, TornReadError
 from repro.layout import MAX_KEY, StripedSpan, encode_u64
+from repro.obs.bus import BUS
 from repro.layout.versions import bump_nibble
 from repro.memory import ChunkAllocator, NULL_ADDR, addr_mn
 from repro.memory.region import CACHE_LINE
@@ -199,6 +200,9 @@ class BTreeClientBase:
                     return decode_u64(data) & ~LOCK_BIT
                 return old
             self.qp.stats.retries += 1
+            if BUS.active:
+                BUS.emit("lock.cas_fail", self.engine.now, addr=lock_addr,
+                         attempt=attempt)
             yield self.engine.timeout(backoff_delay(attempt))
         if local is not None:
             local.release()

@@ -78,6 +78,8 @@ from repro.layout import (
 )
 from repro.layout.versions import SpanSet, bump_nibble, raw_span
 from repro.memory import NULL_ADDR
+from repro.obs.bus import BUS
+from repro.obs.spans import SpanInstrumentedOps
 
 #: Lock-line layout: [lock word: 8][fence_low: 8][fence_high: 8].
 LOCKLINE_FENCE_LOW = 8
@@ -332,8 +334,17 @@ class ChimeIndex(BTreeIndexBase):
         return sum(mn.allocator.bytes_used for mn in self.cluster.mns.values())
 
 
-class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin):
-    """One client's view of a CHIME tree: the §4.4 operations."""
+class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
+                  SpanInstrumentedOps):
+    """One client's view of a CHIME tree: the §4.4 operations.
+
+    Every public operation is wrapped in an observability *op span* and
+    its remote-access stages in *phase spans* (traverse → leaf read →
+    speculative read → lock → write-back → split → retry backoff), so a
+    trace recording shows exactly where each operation's round trips go.
+    With no bus subscriber the wrappers pass generators through
+    untouched.
+    """
 
     def __init__(self, index: ChimeIndex, ctx: ClientContext) -> None:
         super().__init__(index, ctx)
@@ -347,6 +358,10 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin):
 
     def search(self, key: int) -> Generator:
         """Point lookup; returns the value or None."""
+        result = yield from self._op("search", self._search_entry(key))
+        return result
+
+    def _search_entry(self, key: int) -> Generator:
         if self.ctx.combiner.enabled:
             result = yield from self.ctx.combiner.read(
                 ("chime-s", id(self.chime), key), lambda: self._search(key))
@@ -358,11 +373,15 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin):
         """Insert (or overwrite) a key; returns True."""
         if key < 1:
             raise IndexError_("keys must be >= 1")
-        result = yield from self._insert(key, value)
+        result = yield from self._op("insert", self._insert(key, value))
         return result
 
     def update(self, key: int, value: int) -> Generator:
         """Update an existing key; returns False when absent."""
+        result = yield from self._op("update", self._update_entry(key, value))
+        return result
+
+    def _update_entry(self, key: int, value: int) -> Generator:
         if self.ctx.combiner.enabled:
             result = yield from self.ctx.combiner.write(
                 ("chime-u", id(self.chime), key), value,
@@ -373,24 +392,26 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin):
 
     def delete(self, key: int) -> Generator:
         """Delete a key; returns False when absent."""
-        result = yield from self._delete(key)
+        result = yield from self._op("delete", self._delete(key))
         return result
 
     def scan(self, key: int, count: int) -> Generator:
         """Return up to *count* (key, value) pairs with keys >= *key*."""
-        result = yield from self._scan(key, count)
+        result = yield from self._op("scan", self._scan(key, count))
         return result
 
     # ---------------------------------------------------------------- search
 
     def _search(self, key: int) -> Generator:
         for attempt in range(MAX_RETRIES):
-            ref = yield from self._locate_leaf(key)
-            result = yield from self._search_leaf(ref, key)
+            ref = yield from self._phase("traverse", self._locate_leaf(key))
+            result = yield from self._phase("leaf_read",
+                                            self._search_leaf(ref, key))
             if result.status == _RETRAVERSE:
                 continue
             if result.found and self.config.indirect_values:
-                value = yield from self._read_indirect(result.value, key)
+                value = yield from self._phase(
+                    "indirect_read", self._read_indirect(result.value, key))
                 return value
             return result.value if result.found else None
         raise TraversalError(f"search({key}) did not converge")
@@ -406,7 +427,9 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin):
             record = self.hotspots.lookup(leaf_addr, home, layout.neighborhood,
                                           layout.span, key)
             if record is not None:
-                value = yield from self._speculative_read(leaf_addr, record, key)
+                value = yield from self._phase(
+                    "speculative",
+                    self._speculative_read(leaf_addr, record, key))
                 if value is not None:
                     return OpResult(_DONE, found=True, value=value)
         for _hop in range(MAX_CHASE):
@@ -446,8 +469,14 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin):
         if entry.occupied and entry.key == key:
             self.hotspots.correct_speculations += 1
             self.hotspots.record_access(leaf_addr, record.key_index, key)
+            if BUS.active:
+                BUS.emit("speculative.correct", self.engine.now,
+                         leaf_addr=leaf_addr)
             return entry.value
         self.hotspots.wrong_speculations += 1
+        if BUS.active:
+            BUS.emit("speculative.wrong", self.engine.now,
+                     leaf_addr=leaf_addr)
         return None
 
     def _read_indirect(self, block_addr: int, key: int) -> Generator:
@@ -463,9 +492,10 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin):
 
     def _update(self, key: int, value: int) -> Generator:
         for attempt in range(MAX_RETRIES):
-            ref = yield from self._locate_leaf(key)
-            result = yield from self._write_entry_op(ref, key, value,
-                                                     delete=False)
+            ref = yield from self._phase("traverse", self._locate_leaf(key))
+            result = yield from self._phase(
+                "leaf_write",
+                self._write_entry_op(ref, key, value, delete=False))
             if result.status == _RETRAVERSE:
                 continue
             return result.found
@@ -473,8 +503,10 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin):
 
     def _delete(self, key: int) -> Generator:
         for attempt in range(MAX_RETRIES):
-            ref = yield from self._locate_leaf(key)
-            result = yield from self._write_entry_op(ref, key, 0, delete=True)
+            ref = yield from self._phase("traverse", self._locate_leaf(key))
+            result = yield from self._phase(
+                "leaf_write",
+                self._write_entry_op(ref, key, 0, delete=True))
             if result.status == _RETRAVERSE:
                 continue
             return result.found
@@ -490,8 +522,8 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin):
         from_cache = ref.from_cache
         for _hop in range(MAX_CHASE):
             lock_addr = leaf_addr + layout.lock_offset
-            old_word = yield from self._lock(
-                lock_addr, piggyback=not self.config.cxl_atomics)
+            old_word = yield from self._phase("lock", self._lock(
+                lock_addr, piggyback=not self.config.cxl_atomics))
             guard = LockGuard(lock_addr, old_word)
             try:
                 result = yield from self._write_entry_locked(
@@ -579,8 +611,14 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin):
                 entry = view.entry(record.key_index)
                 if entry.occupied and entry.key == key:
                     self.hotspots.correct_speculations += 1
+                    if BUS.active:
+                        BUS.emit("speculative.correct", self.engine.now,
+                                 leaf_addr=leaf_addr)
                     return view, record.key_index, True
                 self.hotspots.wrong_speculations += 1
+                if BUS.active:
+                    BUS.emit("speculative.wrong", self.engine.now,
+                             leaf_addr=leaf_addr)
         view = yield from self._fetch_neighborhood_view(leaf_addr, home)
         position = self._find_in_neighborhood(view, home, key)
         return view, position, False
@@ -604,11 +642,13 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin):
 
     def _insert(self, key: int, value: int) -> Generator:
         for attempt in range(MAX_RETRIES):
-            ref = yield from self._locate_leaf(key)
-            result = yield from self._insert_leaf(ref, key, value)
+            ref = yield from self._phase("traverse", self._locate_leaf(key))
+            result = yield from self._phase("leaf_write",
+                                            self._insert_leaf(ref, key, value))
             if result.status == _DONE:
                 return result.found
-            yield self.engine.timeout(backoff_delay(min(attempt, 4)))
+            yield from self._sleep_phase("retry_backoff",
+                                         backoff_delay(min(attempt, 4)))
         raise TraversalError(f"insert({key}) did not converge")
 
     def _insert_leaf(self, ref: LeafRef, key: int, value: int) -> Generator:
@@ -620,8 +660,8 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin):
         from_cache = ref.from_cache
         for _hop in range(MAX_CHASE):
             lock_addr = leaf_addr + layout.lock_offset
-            old_word = yield from self._lock(
-                lock_addr, piggyback=not self.config.cxl_atomics)
+            old_word = yield from self._phase("lock", self._lock(
+                lock_addr, piggyback=not self.config.cxl_atomics))
             guard = LockGuard(lock_addr, old_word)
             try:
                 outcome = yield from self._insert_locked(
@@ -708,9 +748,9 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin):
             last = (home - 1) % layout.span
             empty = self._first_empty(view, home, last)
         if empty is None:
-            result = yield from self._split_leaf(
+            result = yield from self._phase("split", self._split_leaf(
                 guard, ref, leaf_addr, view if full_read else None,
-                fence_low, fence_high)
+                fence_low, fence_high))
             return result
         # Plan the hop sequence over the fetched entries.
         home_of = self._make_home_of(view)
@@ -720,10 +760,13 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin):
             view = yield from self._extend_to_full(leaf_addr, view)
             full_read = True
         if plan is None:
-            result = yield from self._split_leaf(
+            result = yield from self._phase("split", self._split_leaf(
                 guard, ref, leaf_addr, view if full_read else None,
-                fence_low, fence_high)
+                fence_low, fence_high))
             return result
+        if BUS.active:
+            BUS.emit("hopscotch.displacement", self.engine.now,
+                     moves=len(plan.moves), leaf_addr=leaf_addr)
         # Apply the plan to the local buffer.
         stored = yield from self._stored_value_for_insert(key, value)
         modified = self._apply_plan(view, plan, home, key, stored)
@@ -1006,7 +1049,7 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin):
 
     def _scan(self, key: int, count: int) -> Generator:
         layout = self.layout
-        ref = yield from self._locate_leaf(key)
+        ref = yield from self._phase("traverse", self._locate_leaf(key))
         # Candidate leaves from the (possibly cached) parent: batched
         # parallel READs (§4.4), then sibling chasing for the tail.
         candidates = [ref.leaf_addr]
@@ -1015,7 +1058,8 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin):
                 ref.parent.children[ref.parent_index + 1:ref.parent.count])
         per_leaf = max(1, int(layout.span * 0.5))
         needed = min(len(candidates), count // per_leaf + 2)
-        views = yield from self._read_leaves_batch(candidates[:needed])
+        views = yield from self._phase(
+            "leaf_read", self._read_leaves_batch(candidates[:needed]))
         results: List[Tuple[int, int]] = []
         last_view: Optional[LeafNodeView] = None
         for view in views:
@@ -1029,7 +1073,8 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin):
         guard = 0
         while len(results) < count and next_addr != NULL_ADDR and guard < 1024:
             guard += 1
-            views = yield from self._read_leaves_batch([next_addr])
+            views = yield from self._phase(
+                "leaf_read", self._read_leaves_batch([next_addr]))
             view = views[0]
             for _pos, item_key, value in view.items():
                 if item_key >= key:
@@ -1040,7 +1085,8 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin):
         if self.config.indirect_values:
             resolved = []
             for item_key, block in results:
-                value = yield from self._read_indirect(block, item_key)
+                value = yield from self._phase(
+                    "indirect_read", self._read_indirect(block, item_key))
                 resolved.append((item_key, value))
             return resolved
         return results

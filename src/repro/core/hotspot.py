@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.layout.codec import fingerprint16
+from repro.obs.bus import BUS
 
 #: Bytes per buffer entry: 8 (leaf addr) + 2 (key index) + 2 (fingerprint)
 #: + 4 (counter), as in Figure 11.
@@ -96,6 +97,9 @@ class HotspotBuffer:
                 best = record
         if best is not None:
             self.hits += 1
+        if BUS.active:
+            BUS.emit("hotspot.hit" if best is not None else "hotspot.miss",
+                     leaf_addr=leaf_addr, home=home)
         return best
 
     #: Eviction samples this many candidates (approximate LFU, O(1)-ish;

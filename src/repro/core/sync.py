@@ -22,6 +22,7 @@ from typing import Iterable, List, Sequence
 
 from repro.core.nodes import LeafNodeView
 from repro.errors import TornReadError
+from repro.obs.bus import BUS
 
 #: Retry budget for optimistic reads and remote lock acquisition.
 MAX_RETRIES = 256
@@ -39,6 +40,8 @@ def check_nv_uniform(nv_values: Iterable[int]) -> None:
     """Level 1: all node-level version nibbles must match."""
     values = set(nv_values)
     if len(values) > 1:
+        if BUS.active:
+            BUS.emit("sync.torn", level=1)
         raise TornReadError(f"node-level versions disagree: {sorted(values)}")
 
 
@@ -47,6 +50,8 @@ def check_entry_evs(view: LeafNodeView, indices: Sequence[int]) -> None:
     for index in indices:
         evs = set(view.entry_evs(index))
         if len(evs) > 1:
+            if BUS.active:
+                BUS.emit("sync.torn", level=2)
             raise TornReadError(
                 f"entry {index} entry-level versions disagree: {sorted(evs)}")
 
@@ -70,6 +75,8 @@ def check_hopscotch_bitmap(view: LeafNodeView, home: int, hash_home) -> None:
     stored = view.entry(home).bitmap
     actual = reconstruct_bitmap(view, home, hash_home)
     if stored != actual:
+        if BUS.active:
+            BUS.emit("sync.torn", level=3)
         raise TornReadError(
             f"hopscotch bitmap of home {home} is {stored:#06x}, keys say "
             f"{actual:#06x} (in-flight hop)")

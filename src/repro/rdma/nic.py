@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.bus import BUS
 from repro.sim.engine import Engine
 from repro.sim.resources import QueueServer
 
@@ -66,6 +67,11 @@ class Nic:
         """Queue an inbound message; returns its completion event."""
         self.bytes_in += payload_bytes + WIRE_OVERHEAD
         self.messages_in += 1
+        if BUS.active:
+            BUS.emit("nic.queue", self.engine.now, nic=self.name,
+                     direction="rx",
+                     depth=self.rx.queue_length + self.rx.in_service,
+                     bytes=payload_bytes)
         return self.rx.request(self.spec.service_time(payload_bytes),
                                on_start=on_start)
 
@@ -73,6 +79,11 @@ class Nic:
         """Queue an outbound message; returns its completion event."""
         self.bytes_out += payload_bytes + WIRE_OVERHEAD
         self.messages_out += 1
+        if BUS.active:
+            BUS.emit("nic.queue", self.engine.now, nic=self.name,
+                     direction="tx",
+                     depth=self.tx.queue_length + self.tx.in_service,
+                     bytes=payload_bytes)
         return self.tx.request(self.spec.service_time(payload_bytes))
 
     def utilization(self, elapsed: float) -> float:

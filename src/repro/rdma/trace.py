@@ -13,12 +13,23 @@ why an index path costs more verbs than expected.
     for record in tracer.records:
         print(record)
     print(tracer.summary())
+
+The tracer is a subscriber of the observability event bus
+(:mod:`repro.obs.bus`): :class:`~repro.rdma.verbs.RdmaQp` publishes a
+``verb`` event per issued verb and the tracer keeps those matching its
+queue pair.  (Earlier revisions monkey-patched the QP's verb methods,
+which broke under nesting and left instance attributes behind; bus
+subscription has neither problem and composes with any number of
+concurrent tracers.)  ``start``/``stop`` nest: the subscription is
+dropped when the outermost ``stop()`` closes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional
+
+from repro.obs.bus import BUS, EventBus, ObsEvent, Subscription
 
 
 @dataclass(frozen=True)
@@ -33,15 +44,14 @@ class VerbRecord:
 
 
 class QpTracer:
-    """Intercepts a queue pair's verb methods while active."""
+    """Records the verbs one queue pair issues while active."""
 
-    _METHODS = ("read", "write", "cas", "masked_cas", "faa",
-                "read_batch", "write_batch", "rpc")
-
-    def __init__(self, qp) -> None:
+    def __init__(self, qp, bus: Optional[EventBus] = None) -> None:
         self.qp = qp
+        self.bus = bus if bus is not None else BUS
         self.records: List[VerbRecord] = []
-        self._originals: Dict[str, Any] = {}
+        self._sub: Optional[Subscription] = None
+        self._depth = 0
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -53,53 +63,35 @@ class QpTracer:
         self.stop()
 
     def start(self) -> None:
-        for name in self._METHODS:
-            self._originals[name] = getattr(self.qp, name)
-            setattr(self.qp, name, self._wrap(name, self._originals[name]))
+        """Begin recording; reentrant (nested starts stack)."""
+        self._depth += 1
+        if self._sub is None:
+            self._sub = self.bus.subscribe(self._on_verb, kinds=("verb",))
 
     def stop(self) -> None:
-        for name in self._originals:
-            # start() shadowed the class method with an instance
-            # attribute; removing it restores normal class lookup.
-            delattr(self.qp, name)
-        self._originals.clear()
+        """Stop recording once every nested ``start`` has been closed.
 
-    # -- interception -------------------------------------------------------------
+        Calling ``stop()`` with no matching ``start()`` is a no-op.
+        """
+        if self._depth > 0:
+            self._depth -= 1
+        if self._depth == 0 and self._sub is not None:
+            self._sub.unsubscribe()
+            self._sub = None
 
-    def _wrap(self, name: str, original):
-        tracer = self
+    @property
+    def active(self) -> bool:
+        return self._sub is not None
 
-        def traced(*args, **kwargs):
-            tracer._record(name, args)
-            result = yield from original(*args, **kwargs)
-            return result
+    # -- event handling -----------------------------------------------------------
 
-        return traced
-
-    def _record(self, name: str, args: Tuple) -> None:
-        now = self.qp.engine.now
-        if name == "read":
-            addr, size = args[0], args[1]
-            self.records.append(VerbRecord(now, "read", addr, size))
-        elif name == "write":
-            addr, data = args[0], args[1]
-            self.records.append(VerbRecord(now, "write", addr, len(data)))
-        elif name in ("cas", "masked_cas", "faa"):
-            self.records.append(VerbRecord(now, name, args[0], 8))
-        elif name == "read_batch":
-            requests: Sequence = args[0]
-            total = sum(size for _a, size in requests)
-            self.records.append(VerbRecord(
-                now, "read_batch", requests[0][0], total,
-                batch=len(requests)))
-        elif name == "write_batch":
-            requests = args[0]
-            total = sum(len(data) for _a, data in requests)
-            self.records.append(VerbRecord(
-                now, "write_batch", requests[0][0], total,
-                batch=len(requests)))
-        elif name == "rpc":
-            self.records.append(VerbRecord(now, "rpc", args[0], 0))
+    def _on_verb(self, event: ObsEvent) -> None:
+        data = event.data
+        if data.get("qp") is not self.qp:
+            return
+        self.records.append(VerbRecord(event.time, data["kind"],
+                                       data["addr"], data["size"],
+                                       data.get("batch", 1)))
 
     # -- reporting -----------------------------------------------------------------
 

@@ -31,6 +31,7 @@ from repro.memory.region import CACHE_LINE, addr_mn
 
 if TYPE_CHECKING:  # avoid a package-level import cycle with repro.memory.node
     from repro.memory.node import MemoryNode
+from repro.obs.bus import BUS
 from repro.rdma.nic import Nic, WIRE_OVERHEAD
 from repro.rdma.ops import (
     ATOMIC_PAYLOAD,
@@ -63,17 +64,29 @@ class RdmaQp:
             raise MemoryAccessError(f"no memory node {mn_id} "
                                     f"(address {addr:#x})") from None
 
+    def _emit_verb(self, kind: str, addr: int, size: int,
+                   batch: int = 1) -> None:
+        """Publish one verb issue on the observability bus."""
+        BUS.emit("verb", self.engine.now, qp=self, kind=kind, addr=addr,
+                 size=size, batch=batch)
+
     # ------------------------------------------------------------------ READ
 
     def read(self, addr: int, length: int) -> Generator:
         """One-sided READ of *length* bytes; returns the payload."""
         self.stats.rtts += 1
+        if BUS.active:
+            self._emit_verb("read", addr, length)
         data, = yield from self._read_group([(addr, length)])
         return data
 
     def read_batch(self, requests: Sequence[Tuple[int, int]]) -> Generator:
         """Doorbell-batched READs: one round trip, per-verb NIC charges."""
         self.stats.rtts += 1
+        if BUS.active:
+            self._emit_verb("read_batch", requests[0][0],
+                            sum(size for _a, size in requests),
+                            batch=len(requests))
         results = yield from self._read_group(requests)
         return results
 
@@ -114,6 +127,8 @@ class RdmaQp:
     def write(self, addr: int, data: bytes) -> Generator:
         """One-sided WRITE; returns once the remote ack arrives."""
         self.stats.rtts += 1
+        if BUS.active:
+            self._emit_verb("write", addr, len(data))
         yield from self._write_group([(addr, data)])
 
     def write_batch(self, requests: Sequence[Tuple[int, bytes]]) -> Generator:
@@ -123,6 +138,10 @@ class RdmaQp:
         when combining a data write with the unlocking write.
         """
         self.stats.rtts += 1
+        if BUS.active:
+            self._emit_verb("write_batch", requests[0][0],
+                            sum(len(data) for _a, data in requests),
+                            batch=len(requests))
         yield from self._write_group(requests)
 
     def _write_group(self, requests: Sequence[Tuple[int, bytes]]) -> Generator:
@@ -197,6 +216,8 @@ class RdmaQp:
 
     def cas(self, addr: int, expected: int, new: int) -> Generator:
         """Atomic compare-and-swap; returns ``(old_value, swapped)``."""
+        if BUS.active:
+            self._emit_verb("cas", addr, ATOMIC_PAYLOAD)
         result = yield from self._atomic(
             addr, lambda mn: mn.mem_cas(addr, expected, new))
         return result
@@ -209,6 +230,8 @@ class RdmaQp:
         the masks — the property CHIME's vacancy-bitmap piggybacking uses
         to read metadata for free during lock acquisition.
         """
+        if BUS.active:
+            self._emit_verb("masked_cas", addr, ATOMIC_PAYLOAD)
         result = yield from self._atomic(
             addr, lambda mn: mn.mem_masked_cas(addr, compare, swap,
                                                compare_mask, swap_mask))
@@ -216,6 +239,8 @@ class RdmaQp:
 
     def faa(self, addr: int, delta: int) -> Generator:
         """Atomic fetch-and-add; returns the old value."""
+        if BUS.active:
+            self._emit_verb("faa", addr, ATOMIC_PAYLOAD)
         result = yield from self._atomic(
             addr, lambda mn: (mn.mem_faa(addr, delta), True))
         return result[0]
@@ -245,6 +270,8 @@ class RdmaQp:
         """Two-sided RPC to a memory node's weak CPU (allocation only)."""
         self.stats.rtts += 1
         self.stats.rpcs += 1
+        if BUS.active:
+            self._emit_verb("rpc", mn_id, 0)
         try:
             mn = self._mns[mn_id]
         except KeyError:

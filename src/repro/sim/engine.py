@@ -256,6 +256,12 @@ class Engine:
         self._heap: List[Tuple[float, int, Event]] = []
         self._sequence = 0
         self._pending_crash: Optional[BaseException] = None
+        #: Observability hook: when set, called as ``hook(now, processed,
+        #: heap_len)`` every :attr:`trace_interval` processed events.  The
+        #: quiet path costs one None-check per event pop.
+        self.trace_hook: Optional[Callable[[float, int, int], None]] = None
+        self.trace_interval = 1024
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -326,6 +332,11 @@ class Engine:
             callbacks, event.callbacks = event.callbacks, []
             for callback in callbacks:
                 callback(event)
+            self.events_processed += 1
+            if self.trace_hook is not None and \
+                    self.events_processed % self.trace_interval == 0:
+                self.trace_hook(self._now, self.events_processed,
+                                len(self._heap))
         else:
             if until is not None and until > self._now:
                 self._now = until

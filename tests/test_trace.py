@@ -50,13 +50,41 @@ def test_index_operation_budget_matches_table1():
     assert all(r.kind in ("read", "read_batch") for r in tracer.records)
 
 
-def test_tracer_restores_methods():
-    from repro.rdma.verbs import RdmaQp
+def test_tracer_is_reentrant():
+    """Nested start/stop pairs stack; stop without start is a no-op; the
+    QP's verb methods are never shadowed."""
+    from repro.obs.bus import BUS
     cluster = Cluster(ClusterConfig(region_bytes=1 << 22))
     qp = cluster.cns[0].clients[0].qp
     tracer = QpTracer(qp)
+    tracer.stop()  # no matching start(): must not raise
+    assert not tracer.active
+
     tracer.start()
-    assert "read" in vars(qp)  # class method shadowed per instance
+    tracer.start()  # nested
+    assert tracer.active and BUS.active
     tracer.stop()
-    assert "read" not in vars(qp)
-    assert qp.read.__func__ is RdmaQp.read
+    assert tracer.active  # outer start still open
+    tracer.stop()
+    assert not tracer.active and not BUS.active
+    assert "read" not in vars(qp)  # no per-instance monkey-patching
+
+
+def test_two_tracers_coexist():
+    """Tracers on different QPs each see only their own verbs."""
+    cluster = Cluster(ClusterConfig(region_bytes=1 << 22))
+    ctx_a = cluster.cns[0].clients[0]
+    ctx_b = cluster.cns[0].clients[1]
+    tracer_a = QpTracer(ctx_a.qp)
+    tracer_b = QpTracer(ctx_b.qp)
+    addr = make_addr(0, 4096)
+
+    def gen():
+        with tracer_a, tracer_b:
+            yield from ctx_a.qp.write(addr, b"abc")
+            yield from ctx_b.qp.read(addr, 3)
+
+    cluster.engine.process(gen())
+    cluster.run()
+    assert [r.kind for r in tracer_a.records] == ["write"]
+    assert [r.kind for r in tracer_b.records] == ["read"]
