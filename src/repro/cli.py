@@ -10,6 +10,9 @@ Usage::
     python -m repro run fig12 --format csv --seed 7
     python -m repro run all --scale quick
     python -m repro trace --index chime --workload C --out trace.json
+    python -m repro chaos --crash cn0/c0:lock --seed 7
+    python -m repro chaos --no-leases --crash cn0/c0:lock
+    python -m repro chaos --loss 0.01 --delay 0.05 --outage 0:100us:300us
 
 Figure names map to the experiment functions of
 :mod:`repro.bench.experiments`; ``--scale`` picks a preset from
@@ -178,6 +181,83 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _parse_time(text: str) -> float:
+    """Parse a simulated duration: '250us', '1.5ms', '0.001s', or seconds."""
+    for suffix, unit in (("us", 1e-6), ("ms", 1e-3), ("s", 1.0)):
+        if text.endswith(suffix):
+            return float(text[:-len(suffix)]) * unit
+    return float(text)
+
+
+def _parse_crash(spec: str):
+    """Parse ``owner[:point]`` crash specs.
+
+    The point is either ``lock`` (the default: die right before the
+    first WRITE verb, i.e. holding a leaf lock with nothing landed) or
+    ``KIND[@NTH][:before|after]``, e.g. ``cn0/c1:read@3:after``.
+    """
+    owner, _, rest = spec.partition(":")
+    if not owner:
+        raise ValueError(f"crash spec needs an owner: {spec!r}")
+    if not rest or rest == "lock":
+        return owner, ("write", "write_batch"), 1, "before"
+    when = "before"
+    if rest.endswith((":before", ":after")):
+        rest, _, when = rest.rpartition(":")
+    kind, _, nth_text = rest.partition("@")
+    return owner, (kind,), int(nth_text) if nth_text else 1, when
+
+
+def _cmd_chaos(args) -> int:
+    from repro.faults import ChaosConfig, run_chaos
+
+    overrides: dict = {"seed": args.seed, "lock_leases": not args.no_leases}
+    if args.crash is not None:
+        if args.crash:
+            try:
+                owner, kinds, nth, when = _parse_crash(args.crash)
+            except ValueError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+            overrides.update(crash_owner=owner, crash_kinds=kinds,
+                             crash_nth=nth, crash_when=when)
+        else:
+            overrides["crash_owner"] = ""
+    if args.loss:
+        overrides["loss_probability"] = args.loss
+    if args.delay:
+        overrides["delay_probability"] = args.delay
+    if args.lease_duration:
+        overrides["lease_duration"] = _parse_time(args.lease_duration)
+    if args.max_attempts:
+        overrides["max_attempts"] = args.max_attempts
+    if args.ops:
+        overrides["ops_per_client"] = args.ops
+    if args.keys:
+        overrides["initial_keys"] = args.keys
+        overrides["key_space"] = args.keys * 2
+    outages = []
+    for spec in args.outage or ():
+        try:
+            mn_text, start_text, end_text = spec.split(":")
+            outages.append((int(mn_text), _parse_time(start_text),
+                            _parse_time(end_text)))
+        except ValueError:
+            print(f"bad outage spec {spec!r} (want MN:START:END)",
+                  file=sys.stderr)
+            return 2
+    if outages:
+        overrides["mn_outages"] = tuple(outages)
+    result = run_chaos(ChaosConfig(**overrides))
+    print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    ok = result.invariants.ok and not result.errors
+    print(f"[chaos: {'OK' if ok else 'FAILED'} — "
+          f"{len(result.invariants.violations)} violations, "
+          f"{len(result.errors)} client errors, "
+          f"dead CNs {result.dead_cns}]", file=sys.stderr)
+    return 0 if ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -219,6 +299,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                               help="override the preset's RNG seed")
     trace_parser.add_argument("--out", default=None, metavar="PATH",
                               help="write Chrome trace-event JSON here")
+    chaos_parser = sub.add_parser(
+        "chaos", help="run a seeded fault-injection campaign against CHIME")
+    chaos_parser.add_argument("--seed", type=int, default=7,
+                              help="campaign seed (workload + fault draws)")
+    chaos_parser.add_argument("--crash", default=None, metavar="SPEC",
+                              help="crash spec 'owner[:point]', e.g. "
+                                   "'cn0/c0:lock' (default campaign) or "
+                                   "'cn0/c1:read@3:after'; '' disables")
+    chaos_parser.add_argument("--no-leases", action="store_true",
+                              help="disable lease-based lock recovery "
+                                   "(demonstrates the orphaned-lock hang)")
+    chaos_parser.add_argument("--lease-duration", default=None,
+                              metavar="DUR", help="lease window, e.g. 250us")
+    chaos_parser.add_argument("--loss", type=float, default=0.0,
+                              help="per-verb loss probability")
+    chaos_parser.add_argument("--delay", type=float, default=0.0,
+                              help="per-verb latency-spike probability")
+    chaos_parser.add_argument("--outage", action="append", metavar="SPEC",
+                              help="MN outage 'MN:START:END' (repeatable), "
+                                   "e.g. '0:100us:300us'")
+    chaos_parser.add_argument("--max-attempts", type=int, default=None,
+                              help="retry budget per operation")
+    chaos_parser.add_argument("--ops", type=int, default=None,
+                              help="ops per client")
+    chaos_parser.add_argument("--keys", type=int, default=None,
+                              help="bulk-loaded key count")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -230,6 +336,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     return _cmd_run(args)
 
 

@@ -37,6 +37,21 @@ class Cluster:
         # right for the one-cluster-at-a-time experiment flow.
         BUS.set_clock(lambda: self.engine.now)
 
+    def install_faults(self, plan) -> "object":
+        """Attach a :class:`repro.faults.FaultInjector` for *plan*.
+
+        Every client queue pair in the cluster starts consulting the
+        injector before and after each verb.  Returns the injector so
+        the caller can read its counters / dead-CN set afterwards.
+        """
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(self.engine, plan)
+        for ctx in self.clients():
+            ctx.qp.injector = injector
+        self.fault_injector = injector
+        return injector
+
     def clients(self) -> Iterator[ClientContext]:
         """All client contexts, grouped by CN."""
         for cn in self.cns:

@@ -65,6 +65,11 @@ class ClientContext:
         self.engine = cn.engine
         self.qp = RdmaQp(cn.engine, mns, cn_nic=cn.nic,
                          torn_writes=cn.config.torn_writes)
+        self.qp.owner = f"cn{cn.cn_id}/c{client_id}"
+        self.qp.cn_id = cn.cn_id
+        # Cluster-unique, non-zero 12-bit lease owner id (0 = unowned).
+        self.lease_owner = (
+            cn.cn_id * cn.config.clients_per_cn + client_id + 1) & 0xFFF
         self.rng = random.Random(
             (cn.config.seed, cn.cn_id, client_id).__hash__() & 0x7FFFFFFF)
 

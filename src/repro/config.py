@@ -12,6 +12,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.rdma.nic import NicSpec
+from repro.retry import RetryPolicy
 
 #: The paper's dataset size; used as the budget-scaling reference.
 PAPER_DATASET_SIZE = 60_000_000
@@ -46,6 +47,15 @@ class ClusterConfig:
     #: Serialize same-node lock attempts through a CN-local lock table
     #: (Sherman's optimization, adopted by all indexes for fairness).
     local_lock_table: bool = True
+    #: Lease-based node locks: the lock line carries an
+    #: (owner, epoch, expiry) lease word acquired by read + full-word CAS,
+    #: and survivors steal leases orphaned by a crashed CN past their
+    #: expiry (see DESIGN.md "Failure model & recovery").
+    lock_leases: bool = False
+    #: Lease validity window in simulated seconds.  Must comfortably
+    #: exceed the longest lock hold time (including a leaf split), or
+    #: live holders raise :class:`~repro.errors.LockLeaseExpiredError`.
+    lease_duration: float = 200e-6
     #: RNG seed for client workload streams.
     seed: int = 42
 
@@ -99,6 +109,9 @@ class ChimeConfig:
     cxl_atomics: bool = False
     #: Target leaf fill fraction for bulk loading.
     bulk_load_factor: float = 0.7
+    #: Retry budget/backoff for client operations (None = the default
+    #: policy, which matches the historical constants exactly).
+    retry: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.neighborhood < 1 or self.neighborhood > 16:

@@ -26,12 +26,21 @@ from repro.core.node_layout import (
     FULL_MASK,
     InternalLayout,
     LOCK_BIT,
+    LOCK_LEASE_OFFSET,
+    lease_expiry_us,
+    pack_lease,
+    sim_us,
+    unpack_lease,
 )
 from repro.core.nodes import InternalNodeView, ParsedInternal
-from repro.core.sync import MAX_RETRIES, backoff_delay
-from repro.errors import IndexError_, TornReadError
-from repro.layout import MAX_KEY, StripedSpan, encode_u64
+from repro.errors import (
+    FaultInjectedError,
+    IndexError_,
+    LockLeaseExpiredError,
+)
+from repro.layout import MAX_KEY, StripedSpan, decode_u64, encode_u64
 from repro.obs.bus import BUS
+from repro.retry import DEFAULT_RETRY_POLICY
 from repro.layout.versions import bump_nibble
 from repro.memory import ChunkAllocator, NULL_ADDR, addr_mn
 from repro.memory.region import CACHE_LINE
@@ -72,6 +81,9 @@ class BTreeIndexBase:
     def __init__(self, cluster: Cluster, span: int, key_size: int = 8) -> None:
         self.cluster = cluster
         self.internal_layout = InternalLayout(span, key_size)
+        #: Retry budget shared by every client of this index; subclasses
+        #: override it from their config (see :class:`repro.retry.RetryPolicy`).
+        self.retry_policy = DEFAULT_RETRY_POLICY
         #: Host-visible hints; the authoritative root pointer lives at
         #: ``ROOT_PTR_OFFSET`` on MN 0 and is updated via remote CAS.
         #: (Shortcut: hint propagation to other CNs is instantaneous;
@@ -146,6 +158,13 @@ class BTreeClientBase:
         self.ctx = ctx
         self.qp = ctx.qp
         self.engine = ctx.engine
+        self.retry = index.retry_policy
+        cluster_cfg = index.cluster.config
+        self._leases_on = cluster_cfg.lock_leases
+        self._lease_duration = cluster_cfg.lease_duration
+        self._lease_owner = ctx.lease_owner
+        #: lock_addr -> (epoch, expiry_us) for leases this client holds.
+        self._held_leases: Dict[int, Tuple[int, int]] = {}
         self._allocators: Dict[int, ChunkAllocator] = {}
         self._alloc_rr = ctx.client_id  # stagger MN choice across clients
 
@@ -168,7 +187,7 @@ class BTreeClientBase:
     # -- remote locks --------------------------------------------------------------
 
     def _lock(self, lock_addr: int, zero_rest: bool = True,
-              piggyback: bool = True) -> Generator:
+              piggyback: bool = True, repair=None) -> Generator:
         """Acquire the remote lock at *lock_addr*; returns the old word.
 
         Serializes same-CN attempts through the local lock table first
@@ -183,31 +202,161 @@ class BTreeClientBase:
         only toggles the lock bit and its return value is not used; the
         rest of the word is fetched with a dedicated READ — the extra
         round trip the paper predicts for CXL deployments.
+
+        With lease-based locks (``ClusterConfig.lock_leases``), the spin
+        runs on the (owner, epoch, expiry) lease word instead and may
+        steal an orphaned lease past its expiry; *repair* is a nullary
+        generator callback run after a steal, before the caller proceeds
+        (leaf callers pass their repair routine).
+
+        The spin is bounded by the index :class:`~repro.retry.RetryPolicy`;
+        exhaustion raises :class:`~repro.errors.RetryExhaustedError` (the
+        CN-local shadow lock is released on any failure path).
         """
         local = self.ctx.cn.local_lock(lock_addr)
         if local is not None:
             yield local.acquire()
+        try:
+            if self._leases_on:
+                old = yield from self._lock_leased(lock_addr, repair)
+            else:
+                old = yield from self._lock_spin(lock_addr, zero_rest,
+                                                 piggyback)
+        except BaseException:
+            if local is not None:
+                local.release()
+            raise
+        return old
+
+    def _lock_spin(self, lock_addr: int, zero_rest: bool,
+                   piggyback: bool) -> Generator:
+        """The classic lock-bit masked-CAS spin (no leases)."""
         swap_mask = (FULL_MASK if zero_rest else LOCK_BIT) if piggyback \
             else LOCK_BIT
-        for attempt in range(MAX_RETRIES):
+        retry = self.retry.start(f"lock {lock_addr:#x}", self.engine,
+                                 self.ctx.rng)
+        while retry.check():
             old, swapped = yield from self.qp.masked_cas(
                 lock_addr, compare=0, swap=LOCK_BIT,
                 compare_mask=LOCK_BIT, swap_mask=swap_mask)
             if swapped:
                 if not piggyback:
                     data = yield from self.qp.read(lock_addr, 8)
-                    from repro.layout import decode_u64
                     return decode_u64(data) & ~LOCK_BIT
                 return old
             self.qp.stats.retries += 1
             if BUS.active:
                 BUS.emit("lock.cas_fail", self.engine.now, addr=lock_addr,
-                         attempt=attempt)
-            yield self.engine.timeout(backoff_delay(attempt))
-        if local is not None:
-            local.release()
-        raise TraversalError(f"lock {lock_addr:#x} not acquired after "
-                             f"{MAX_RETRIES} attempts")
+                         attempt=retry.attempt - 1)
+            yield from retry.backoff()
+
+    def _lock_leased(self, lock_addr: int, repair=None) -> Generator:
+        """Lease-based acquire: READ the lock line, CAS the lease word.
+
+        The full-word CAS on the lease makes the piggybacked metadata
+        read race-free without touching the lock word: the epoch bumps
+        on every acquisition and survives unlock, so any intervening
+        acquire/release changes the lease word and fails our CAS — and
+        the metadata word only changes under the lease.
+
+        An orphaned lease (owner != 0, expiry in the past — its holder's
+        CN crashed mid-operation) is stolen by the same CAS; *repair*
+        then reconciles the node before the caller proceeds.
+        """
+        lease_addr = lock_addr + LOCK_LEASE_OFFSET
+        retry = self.retry.start(f"lease {lock_addr:#x}", self.engine,
+                                 self.ctx.rng)
+        while retry.check():
+            line = yield from self.qp.read(lock_addr, LOCK_LEASE_OFFSET + 8)
+            word = decode_u64(line, 0)
+            lease = decode_u64(line, LOCK_LEASE_OFFSET)
+            owner, epoch, expiry_us = unpack_lease(lease)
+            now_us = sim_us(self.engine.now)
+            stealing = owner != 0
+            if stealing and now_us < expiry_us:
+                self.qp.stats.retries += 1
+                if BUS.active:
+                    BUS.emit("lock.cas_fail", self.engine.now, addr=lock_addr,
+                             attempt=retry.attempt - 1)
+                yield from retry.backoff()
+                continue
+            new_expiry = lease_expiry_us(self.engine.now,
+                                         self._lease_duration)
+            new_lease = pack_lease(self._lease_owner, epoch + 1, new_expiry)
+            _old, swapped = yield from self.qp.cas(lease_addr, lease,
+                                                   new_lease)
+            if not swapped:
+                self.qp.stats.retries += 1
+                yield from retry.backoff()
+                continue
+            self._held_leases[lock_addr] = ((epoch + 1) & 0xFFFFF, new_expiry)
+            if stealing:
+                if BUS.active:
+                    BUS.emit("lock.lease_expired", self.engine.now,
+                             addr=lock_addr, owner=owner, epoch=epoch,
+                             expired_us=expiry_us)
+                    BUS.emit("lock.steal", self.engine.now, addr=lock_addr,
+                             victim=owner, thief=self._lease_owner,
+                             epoch=epoch + 1)
+                if repair is not None:
+                    repaired = yield from repair()
+                    if repaired is not None:
+                        word = repaired
+            return word & ~LOCK_BIT
+
+    def _unlock_writes(self, lock_addr: int, word: int = 0):
+        """The (addr, payload) writes that release the lock at *lock_addr*.
+
+        Callers append these to their data write batch so the unlock
+        rides the same doorbell.  With leases on, the batch also clears
+        the lease (owner and expiry zeroed, epoch preserved) — unless
+        the lease already expired, in which case a survivor may own the
+        node by now and writing anything would corrupt it:
+        :class:`~repro.errors.LockLeaseExpiredError` is raised instead.
+        """
+        writes = [(lock_addr, encode_u64(word))]
+        if self._leases_on:
+            held = self._held_leases.pop(lock_addr, None)
+            if held is not None:
+                epoch, expiry_us = held
+                if sim_us(self.engine.now) >= expiry_us:
+                    if BUS.active:
+                        BUS.emit("lock.lease_overrun", self.engine.now,
+                                 addr=lock_addr, owner=self._lease_owner,
+                                 expired_us=expiry_us)
+                    raise LockLeaseExpiredError(
+                        f"lease on {lock_addr:#x} expired at {expiry_us}us, "
+                        f"now {sim_us(self.engine.now)}us: unlock abandoned "
+                        f"(raise ClusterConfig.lease_duration)")
+                writes.append((lock_addr + LOCK_LEASE_OFFSET,
+                               encode_u64(pack_lease(0, epoch, 0))))
+        return writes
+
+    def _unlock_remote(self, lock_addr: int, word: int = 0) -> Generator:
+        """Release the remote lock with a standalone write (no batch)."""
+        writes = self._unlock_writes(lock_addr, word)
+        if len(writes) == 1:
+            yield from self.qp.write(writes[0][0], writes[0][1])
+        else:
+            yield from self.qp.write_batch(writes)
+
+    def _restore_unlock(self, lock_addr: int, word: int = 0) -> Generator:
+        """Best-effort unlock on an exception path.
+
+        Unlike :meth:`_unlock_writes` this never raises: a lease that
+        expired (or was never recorded) is simply left for survivors to
+        steal — the stealer owns the node now and must not be clobbered.
+        """
+        if self._leases_on:
+            held = self._held_leases.pop(lock_addr, None)
+            if held is None or sim_us(self.engine.now) >= held[1]:
+                return
+            yield from self.qp.write_batch([
+                (lock_addr, encode_u64(word)),
+                (lock_addr + LOCK_LEASE_OFFSET,
+                 encode_u64(pack_lease(0, held[0], 0)))])
+        else:
+            yield from self.qp.write(lock_addr, encode_u64(word))
 
     def _release_local(self, lock_addr: int) -> None:
         local = self.ctx.cn.local_lock(lock_addr)
@@ -219,8 +368,15 @@ class BTreeClientBase:
     def _read_internal(self, addr: int, use_cache_budget: bool = True) -> Generator:
         """READ + optimistically validate + parse an internal node."""
         layout = self.index.internal_layout
-        for attempt in range(MAX_RETRIES):
-            raw = yield from self.qp.read(addr, layout.raw_size)
+        retry = self.retry.start(f"internal read {addr:#x}", self.engine,
+                                 self.ctx.rng)
+        while retry.check():
+            try:
+                raw = yield from self.qp.read(addr, layout.raw_size)
+            except FaultInjectedError:
+                self.qp.stats.retries += 1
+                yield from retry.backoff()
+                continue
             view = InternalNodeView(layout, StripedSpan(raw, 0))
             if view.is_consistent():
                 parsed = view.parse(addr)
@@ -228,8 +384,7 @@ class BTreeClientBase:
                     self.ctx.cache.put(addr, parsed, layout.total_size)
                 return parsed
             self.qp.stats.retries += 1
-            yield self.engine.timeout(backoff_delay(attempt))
-        raise TornReadError(f"internal node {addr:#x} never consistent")
+            yield from retry.backoff()
 
     def _read_internal_covering(self, addr: int, key: int) -> Generator:
         """Read an internal node, chasing siblings until it covers *key*."""
@@ -254,7 +409,7 @@ class BTreeClientBase:
                                         sibling, entries, nv=nv)
         writes = [(addr, bytes(view.span.data))]
         if unlock:
-            writes.append((addr + layout.lock_offset, encode_u64(0)))
+            writes.extend(self._unlock_writes(addr + layout.lock_offset))
         yield from self.qp.write_batch(writes)
         parsed = view.parse(addr)
         self.ctx.cache.put(addr, parsed, layout.total_size)
@@ -264,15 +419,16 @@ class BTreeClientBase:
 
     def _locate_leaf(self, key: int) -> Generator:
         """Descend to the leaf covering *key*, preferring cached nodes."""
-        for attempt in range(MAX_RETRIES):
+        retry = self.retry.start(f"traversal key={key}", self.engine,
+                                 self.ctx.rng)
+        while retry.check():
             addr = self.index.root_addr
             if addr == NULL_ADDR:
                 raise TraversalError("index has no root; bulk_load first")
             result = yield from self._descend(addr, key, target_level=0)
             if result is not None:
                 return result
-            yield self.engine.timeout(backoff_delay(attempt))
-        raise TraversalError(f"traversal for key {key} did not converge")
+            yield from retry.backoff()
 
     def _descend(self, addr: int, key: int, target_level: int) -> Generator:
         """One root-to-target descent; None means restart from the root.
@@ -281,7 +437,7 @@ class BTreeClientBase:
         return the :class:`ParsedInternal` at that level (used by split
         up-propagation to find ancestors).
         """
-        while True:
+        for _depth in range(MAX_CHASE):
             cached = self.ctx.cache.get(addr)
             if cached is not None and cached.valid and cached.covers(key):
                 parsed = cached
@@ -299,6 +455,8 @@ class BTreeClientBase:
             if parsed.level == 1 and target_level == 0:
                 return LeafRef(child, parsed, index, node_from_cache)
             addr = child
+        raise TraversalError(f"descent exceeded {MAX_CHASE} levels "
+                             "(corrupt level pointers?)")
 
     # -- split up-propagation --------------------------------------------------------------
 
@@ -329,7 +487,7 @@ class BTreeClientBase:
                 parsed = yield from self._read_internal(parent_addr)
                 if not parsed.covers(split_key):
                     # The parent itself split concurrently; chase.
-                    yield from self.qp.write(lock_addr, encode_u64(0))
+                    yield from self._unlock_remote(lock_addr)
                     next_addr = parsed.sibling
                     if next_addr == NULL_ADDR:
                         raise TraversalError(

@@ -55,16 +55,17 @@ from repro.core.node_layout import (
 )
 from repro.core.nodes import LeafNodeView
 from repro.core.sync import (
-    MAX_RETRIES,
-    backoff_delay,
     check_entry_evs,
     check_nv_uniform,
     collect_leaf_nv,
+    reconstruct_bitmap,
 )
 from repro.errors import (
+    FaultInjectedError,
     HashTableFullError,
     IndexError_,
     LayoutError,
+    RetryExhaustedError,
     TornReadError,
 )
 from repro.hashing.hopscotch import HopscotchTable, default_hash, distance, plan_insert
@@ -80,6 +81,7 @@ from repro.layout.versions import SpanSet, bump_nibble, raw_span
 from repro.memory import NULL_ADDR
 from repro.obs.bus import BUS
 from repro.obs.spans import SpanInstrumentedOps
+from repro.retry import DEFAULT_RETRY_POLICY
 
 #: Lock-line layout: [lock word: 8][fence_low: 8][fence_high: 8].
 LOCKLINE_FENCE_LOW = 8
@@ -131,6 +133,10 @@ class ChimeIndex(BTreeIndexBase):
     def __init__(self, cluster: Cluster, config: Optional[ChimeConfig] = None) -> None:
         self.config = config or ChimeConfig()
         super().__init__(cluster, self.config.span, self.config.key_size)
+        if self.config.retry is not None:
+            self.retry_policy = self.config.retry
+        else:
+            self.retry_policy = DEFAULT_RETRY_POLICY
         entry_value_size = 8 if self.config.indirect_values else self.config.value_size
         self.leaf_layout = LeafLayout(
             span=self.config.span,
@@ -275,7 +281,9 @@ class ChimeIndex(BTreeIndexBase):
         from repro.core.nodes import InternalNodeView  # local to avoid cycle noise
         layout = self.internal_layout
         level = 1
-        while True:
+        # Each pass shrinks the entry list by a factor of span; 64 levels
+        # bounds any realistic tree (span=1 would otherwise loop forever).
+        for _pass in range(64):
             groups = [entries[i:i + layout.span]
                       for i in range(0, len(entries), layout.span)]
             addrs = [self._host_alloc(layout.total_size) for _ in groups]
@@ -293,6 +301,9 @@ class ChimeIndex(BTreeIndexBase):
                 return
             entries = next_entries
             level += 1
+        raise RetryExhaustedError(
+            "bulk load built 64 internal levels without converging on a "
+            "root (span too small for the dataset?)")
 
     # -- host-side verification helpers -----------------------------------------------
 
@@ -403,10 +414,16 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
     # ---------------------------------------------------------------- search
 
     def _search(self, key: int) -> Generator:
-        for attempt in range(MAX_RETRIES):
-            ref = yield from self._phase("traverse", self._locate_leaf(key))
-            result = yield from self._phase("leaf_read",
-                                            self._search_leaf(ref, key))
+        retry = self.retry.start(f"search({key})", self.engine, self.ctx.rng)
+        while retry.check():
+            try:
+                ref = yield from self._phase("traverse",
+                                             self._locate_leaf(key))
+                result = yield from self._phase("leaf_read",
+                                                self._search_leaf(ref, key))
+            except FaultInjectedError:
+                self.qp.stats.retries += 1
+                continue
             if result.status == _RETRAVERSE:
                 continue
             if result.found and self.config.indirect_values:
@@ -414,7 +431,6 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
                     "indirect_read", self._read_indirect(result.value, key))
                 return value
             return result.value if result.found else None
-        raise TraversalError(f"search({key}) did not converge")
 
     def _search_leaf(self, ref: LeafRef, key: int) -> Generator:
         layout = self.layout
@@ -491,26 +507,36 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
     # ---------------------------------------------------------------- update / delete
 
     def _update(self, key: int, value: int) -> Generator:
-        for attempt in range(MAX_RETRIES):
-            ref = yield from self._phase("traverse", self._locate_leaf(key))
-            result = yield from self._phase(
-                "leaf_write",
-                self._write_entry_op(ref, key, value, delete=False))
+        retry = self.retry.start(f"update({key})", self.engine, self.ctx.rng)
+        while retry.check():
+            try:
+                ref = yield from self._phase("traverse",
+                                             self._locate_leaf(key))
+                result = yield from self._phase(
+                    "leaf_write",
+                    self._write_entry_op(ref, key, value, delete=False))
+            except FaultInjectedError:
+                self.qp.stats.retries += 1
+                continue
             if result.status == _RETRAVERSE:
                 continue
             return result.found
-        raise TraversalError(f"update({key}) did not converge")
 
     def _delete(self, key: int) -> Generator:
-        for attempt in range(MAX_RETRIES):
-            ref = yield from self._phase("traverse", self._locate_leaf(key))
-            result = yield from self._phase(
-                "leaf_write",
-                self._write_entry_op(ref, key, 0, delete=True))
+        retry = self.retry.start(f"delete({key})", self.engine, self.ctx.rng)
+        while retry.check():
+            try:
+                ref = yield from self._phase("traverse",
+                                             self._locate_leaf(key))
+                result = yield from self._phase(
+                    "leaf_write",
+                    self._write_entry_op(ref, key, 0, delete=True))
+            except FaultInjectedError:
+                self.qp.stats.retries += 1
+                continue
             if result.status == _RETRAVERSE:
                 continue
             return result.found
-        raise TraversalError(f"delete({key}) did not converge")
 
     def _write_entry_op(self, ref: LeafRef, key: int, value: int,
                         delete: bool) -> Generator:
@@ -523,16 +549,21 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
         for _hop in range(MAX_CHASE):
             lock_addr = leaf_addr + layout.lock_offset
             old_word = yield from self._phase("lock", self._lock(
-                lock_addr, piggyback=not self.config.cxl_atomics))
+                lock_addr, piggyback=not self.config.cxl_atomics,
+                repair=lambda addr=leaf_addr: self._repair_leaf(addr)))
             guard = LockGuard(lock_addr, old_word)
             try:
                 result = yield from self._write_entry_locked(
                     guard, ref, leaf_addr, home, key, value, delete,
                     expected, from_cache, _hop)
+            except GeneratorExit:
+                # A parked (crashed) client being reclaimed must not
+                # yield restore verbs — its node is dead.
+                raise
             except BaseException:
                 if guard.held:
-                    yield from self.qp.write(
-                        lock_addr, encode_u64(guard.release_word()))
+                    yield from self._restore_unlock(lock_addr,
+                                                    guard.release_word())
                 raise
             finally:
                 self._release_local(lock_addr)
@@ -553,8 +584,8 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
         if position is None:
             sibling, _valid = self._replica_info(view, home)
             mismatch = expected is not None and sibling != expected
-            yield from self.qp.write(guard.lock_addr,
-                                     encode_u64(guard.release_word()))
+            yield from self._unlock_remote(guard.lock_addr,
+                                           guard.release_word())
             if from_cache and mismatch and ref.parent is not None:
                 self.ctx.cache.invalidate(ref.parent.addr)
                 return OpResult(_RETRAVERSE)
@@ -583,8 +614,8 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
             view.write_entry(position, key, stored)
             writes.extend(self._entry_writes(leaf_addr, view, {position}))
             self.hotspots.record_access(leaf_addr, position, key)
-        writes.append((guard.lock_addr,
-                       encode_u64(guard.release_word(argmax, vacancy))))
+        writes.extend(self._unlock_writes(
+            guard.lock_addr, guard.release_word(argmax, vacancy)))
         yield from self.qp.write_batch(writes)
         return OpResult(_DONE, found=True)
 
@@ -641,15 +672,22 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
     # ---------------------------------------------------------------- insert
 
     def _insert(self, key: int, value: int) -> Generator:
-        for attempt in range(MAX_RETRIES):
-            ref = yield from self._phase("traverse", self._locate_leaf(key))
-            result = yield from self._phase("leaf_write",
-                                            self._insert_leaf(ref, key, value))
+        retry = self.retry.start(f"insert({key})", self.engine, self.ctx.rng)
+        while retry.check():
+            try:
+                ref = yield from self._phase("traverse",
+                                             self._locate_leaf(key))
+                result = yield from self._phase(
+                    "leaf_write", self._insert_leaf(ref, key, value))
+            except FaultInjectedError:
+                self.qp.stats.retries += 1
+                yield from self._sleep_phase("retry_backoff",
+                                             retry.next_delay(cap=4))
+                continue
             if result.status == _DONE:
                 return result.found
             yield from self._sleep_phase("retry_backoff",
-                                         backoff_delay(min(attempt, 4)))
-        raise TraversalError(f"insert({key}) did not converge")
+                                         retry.next_delay(cap=4))
 
     def _insert_leaf(self, ref: LeafRef, key: int, value: int) -> Generator:
         layout = self.layout
@@ -661,16 +699,21 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
         for _hop in range(MAX_CHASE):
             lock_addr = leaf_addr + layout.lock_offset
             old_word = yield from self._phase("lock", self._lock(
-                lock_addr, piggyback=not self.config.cxl_atomics))
+                lock_addr, piggyback=not self.config.cxl_atomics,
+                repair=lambda addr=leaf_addr: self._repair_leaf(addr)))
             guard = LockGuard(lock_addr, old_word)
             try:
                 outcome = yield from self._insert_locked(
                     guard, ref, leaf_addr, home, key, value,
                     expected, from_cache)
+            except GeneratorExit:
+                # A parked (crashed) client being reclaimed must not
+                # yield restore verbs — its node is dead.
+                raise
             except BaseException:
                 if guard.held:
-                    yield from self.qp.write(
-                        lock_addr, encode_u64(guard.release_word()))
+                    yield from self._restore_unlock(lock_addr,
+                                                    guard.release_word())
                 raise
             finally:
                 self._release_local(lock_addr)
@@ -722,13 +765,13 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
         # Routing: the paper's argmax mechanism for detected half-splits;
         # the lock-line fence keys for the unknown-reference case.
         if mismatch and max_entry is not None and key > max_entry:
-            yield from self.qp.write(lock_addr, encode_u64(guard.release_word()))
+            yield from self._unlock_remote(lock_addr, guard.release_word())
             return OpResult("chase", value=sibling)
         if key >= fence_high and sibling != NULL_ADDR:
-            yield from self.qp.write(lock_addr, encode_u64(guard.release_word()))
+            yield from self._unlock_remote(lock_addr, guard.release_word())
             return OpResult("chase", value=sibling)
         if key < fence_low:
-            yield from self.qp.write(lock_addr, encode_u64(guard.release_word()))
+            yield from self._unlock_remote(lock_addr, guard.release_word())
             return OpResult(_RETRAVERSE)
         # Duplicate check within the neighborhood (upsert semantics; the
         # variable-length-key subclass overrides the handler to chain
@@ -780,8 +823,8 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
         for src, _dst in plan.moves:
             self.hotspots.invalidate(leaf_addr, src)
         writes = self._entry_writes(leaf_addr, view, modified)
-        writes.append((lock_addr,
-                       encode_u64(guard.release_word(argmax, vacancy))))
+        writes.extend(self._unlock_writes(
+            lock_addr, guard.release_word(argmax, vacancy)))
         yield from self.qp.write_batch(writes)
         self.hotspots.record_access(leaf_addr, plan.target, key)
         return OpResult(_DONE, found=True)
@@ -805,8 +848,8 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
             stored = yield from self._write_indirect(key, value)
         view.write_entry(position, key, stored)
         writes = self._entry_writes(leaf_addr, view, {position})
-        writes.append((guard.lock_addr,
-                       encode_u64(guard.release_word(argmax, vacancy))))
+        writes.extend(self._unlock_writes(
+            guard.lock_addr, guard.release_word(argmax, vacancy)))
         yield from self.qp.write_batch(writes)
         return OpResult(_DONE, found=True)
 
@@ -1003,12 +1046,15 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
                                                   fence_low=fence_low,
                                                   fence_high=pivot,
                                                   nv=bump_nibble(old_nv))
+        # The unlocking lock-line write also refreshes the fence keys; with
+        # leases on, _unlock_writes appends the lease-clearing write (and
+        # raises instead if our lease already expired mid-split).
+        unlock = self._unlock_writes(lock_addr, left_word)
+        unlock[0] = (lock_addr, encode_u64(left_word) + encode_key(fence_low)
+                     + encode_key(pivot))
         guard.held = False  # the batched lock-line write below releases it
-        yield from self.qp.write_batch([
-            (leaf_addr, bytes(left_view.span.data)),
-            (lock_addr, encode_u64(left_word) + encode_key(fence_low)
-             + encode_key(pivot)),
-        ])
+        yield from self.qp.write_batch(
+            [(leaf_addr, bytes(left_view.span.data))] + unlock)
         for pos in range(layout.span):
             self.hotspots.invalidate(leaf_addr, pos)
         parent_hint = ref.parent if ref.parent is not None else None
@@ -1048,6 +1094,17 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
     # ---------------------------------------------------------------- scan
 
     def _scan(self, key: int, count: int) -> Generator:
+        retry = self.retry.start(f"scan({key})", self.engine, self.ctx.rng)
+        while retry.check():
+            try:
+                result = yield from self._scan_once(key, count)
+            except FaultInjectedError:
+                self.qp.stats.retries += 1
+                yield from retry.backoff()
+                continue
+            return result
+
+    def _scan_once(self, key: int, count: int) -> Generator:
         layout = self.layout
         ref = yield from self._phase("traverse", self._locate_leaf(key))
         # Candidate leaves from the (possibly cached) parent: batched
@@ -1099,14 +1156,16 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
         views: List[LeafNodeView] = []
         for addr, data in zip(addrs, payloads):
             view = LeafNodeView(layout, StripedSpan(data, 0))
-            for attempt in range(MAX_RETRIES):
+            retry = self.retry.start(f"scan leaf {addr:#x}", self.engine,
+                                     self.ctx.rng)
+            while retry.check():
                 try:
                     nv_values = collect_leaf_nv(view, range(layout.span))
                     check_nv_uniform(nv_values)
                     break
                 except TornReadError:
                     self.qp.stats.retries += 1
-                    yield self.engine.timeout(backoff_delay(attempt))
+                    yield from retry.backoff()
                     data = yield from self.qp.read(addr, layout.raw_size)
                     view = LeafNodeView(layout, StripedSpan(data, 0))
             views.append(view)
@@ -1129,4 +1188,40 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
     def _unlock(self, lock_addr: int, argmax: int, vacancy: int) -> Generator:
         """Release the remote lock, restoring the piggybacked metadata."""
         word = pack_lock_word(False, argmax, vacancy)
-        yield from self.qp.write(lock_addr, encode_u64(word))
+        yield from self._unlock_remote(lock_addr, word)
+
+    # ---------------------------------------------------------------- recovery
+
+    def _repair_leaf(self, leaf_addr: int) -> Generator:
+        """Reconcile a leaf orphaned by a crashed lock holder.
+
+        Runs right after this client steals the leaf's expired lease
+        (see :meth:`BTreeClientBase._lock_leased`), before the stolen
+        metadata is trusted.  A crash cannot tear entry payloads — data
+        and unlock ride one ordered write batch, so an interrupted op
+        either fully landed or left the leaf untouched — but the
+        piggybacked lock word (argmax + vacancy bitmap) and the hop
+        bitmaps are rebuilt from the entries defensively.  Returns the
+        fresh lock word so the stealer proceeds with repaired metadata.
+        """
+        layout = self.layout
+        view = yield from self._fetch_leaf(leaf_addr, [layout.full_span()])
+        modified = set()
+        for home in range(layout.span):
+            bitmap = reconstruct_bitmap(view, home, self.chime.home_of)
+            if view.entry(home).bitmap != bitmap:
+                view.set_entry_bitmap(home, bitmap)
+                modified.add(home)
+        occupied = [view.entry(pos).occupied for pos in range(layout.span)]
+        vacancy = self.chime.vacancy_map.compose(occupied)
+        word = pack_lock_word(False, view.argmax_key(), vacancy)
+        writes = self._entry_writes(leaf_addr, view, modified) if modified \
+            else []
+        writes.append((leaf_addr + layout.lock_offset, encode_u64(word)))
+        yield from self.qp.write_batch(writes)
+        for pos in range(layout.span):
+            self.hotspots.invalidate(leaf_addr, pos)
+        if BUS.active:
+            BUS.emit("lock.repair", self.engine.now, leaf_addr=leaf_addr,
+                     bitmaps_fixed=len(modified))
+        return word

@@ -13,16 +13,15 @@ from typing import Generator, Optional, Sequence, Tuple
 
 from repro.core.nodes import LeafNodeView
 from repro.core.sync import (
-    MAX_RETRIES,
-    backoff_delay,
     check_entry_evs,
     check_hopscotch_bitmap,
     check_nv_uniform,
     collect_leaf_nv,
 )
-from repro.errors import TornReadError
+from repro.errors import FaultInjectedError, TornReadError
 from repro.layout import StripedSpan
 from repro.layout.versions import SpanSet, raw_span
+from repro.retry import DEFAULT_RETRY_POLICY
 
 
 class HopscotchLeafOpsMixin:
@@ -76,19 +75,23 @@ class HopscotchLeafOpsMixin:
         layout = self.layout
         indices = [(home + o) % layout.span
                    for o in range(layout.neighborhood)]
-        for attempt in range(MAX_RETRIES):
-            view = yield from self._fetch_neighborhood_view(leaf_addr, home)
+        # CHIME clients carry an index-level RetryPolicy; the learned
+        # variant (no B-tree base) falls back to the default.
+        policy = getattr(self, "retry", None) or DEFAULT_RETRY_POLICY
+        rng = getattr(getattr(self, "ctx", None), "rng", None)
+        retry = policy.start(
+            f"neighborhood {home} @ leaf {leaf_addr:#x}", self.engine, rng)
+        while retry.check():
             try:
+                view = yield from self._fetch_neighborhood_view(leaf_addr,
+                                                                home)
                 check_nv_uniform(collect_leaf_nv(view, indices))
                 check_entry_evs(view, indices)
                 check_hopscotch_bitmap(view, home, self.home_of)
                 return view
-            except TornReadError:
+            except (TornReadError, FaultInjectedError):
                 self.qp.stats.retries += 1
-                yield self.engine.timeout(backoff_delay(attempt))
-        raise TornReadError(
-            f"neighborhood of home {home} in leaf {leaf_addr:#x} never "
-            f"reached a consistent state")
+                yield from retry.backoff()
 
     def _find_in_neighborhood(self, view: LeafNodeView, home: int,
                               key: int) -> Optional[int]:

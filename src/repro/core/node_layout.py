@@ -45,6 +45,50 @@ VACANCY_BITS = 64 - VACANCY_SHIFT
 FULL_MASK = 0xFFFFFFFFFFFFFFFF
 
 
+#: Lease word layout (lock-line offset 24): [owner:12][epoch:20][expiry:32].
+#: ``owner`` is a small non-zero client id (0 = lease free), ``epoch``
+#: increments on every acquisition (ABA protection for the read-then-CAS
+#: acquire protocol), ``expiry`` is an absolute simulated time in
+#: microseconds after which survivors may steal the lease.
+LOCK_LEASE_OFFSET = 24
+LEASE_OWNER_BITS = 12
+LEASE_EPOCH_BITS = 20
+LEASE_EXPIRY_BITS = 32
+LEASE_OWNER_MASK = (1 << LEASE_OWNER_BITS) - 1
+LEASE_EPOCH_MASK = (1 << LEASE_EPOCH_BITS) - 1
+LEASE_EXPIRY_MASK = (1 << LEASE_EXPIRY_BITS) - 1
+_LEASE_OWNER_SHIFT = LEASE_EPOCH_BITS + LEASE_EXPIRY_BITS
+_LEASE_EPOCH_SHIFT = LEASE_EXPIRY_BITS
+
+
+def pack_lease(owner: int, epoch: int, expiry_us: int) -> int:
+    """Compose the 8-byte lock-lease word."""
+    if not 0 <= owner <= LEASE_OWNER_MASK:
+        raise LayoutError(f"lease owner {owner} exceeds {LEASE_OWNER_BITS} bits")
+    word = (owner & LEASE_OWNER_MASK) << _LEASE_OWNER_SHIFT
+    word |= (epoch & LEASE_EPOCH_MASK) << _LEASE_EPOCH_SHIFT
+    word |= expiry_us & LEASE_EXPIRY_MASK
+    return word
+
+
+def unpack_lease(word: int) -> Tuple[int, int, int]:
+    """Split a lease word into (owner, epoch, expiry_us)."""
+    owner = (word >> _LEASE_OWNER_SHIFT) & LEASE_OWNER_MASK
+    epoch = (word >> _LEASE_EPOCH_SHIFT) & LEASE_EPOCH_MASK
+    expiry_us = word & LEASE_EXPIRY_MASK
+    return owner, epoch, expiry_us
+
+
+def sim_us(now: float) -> int:
+    """Simulated seconds -> the microsecond tick leases are stamped in."""
+    return int(now * 1e6)
+
+
+def lease_expiry_us(now: float, duration: float) -> int:
+    """Expiry tick for a lease acquired at *now*; strictly in the future."""
+    return (sim_us(now + duration) + 1) & LEASE_EXPIRY_MASK
+
+
 def pack_lock_word(locked: bool, argmax: int, vacancy: int) -> int:
     """Compose the 8-byte lock word."""
     if argmax >= (1 << ARGMAX_BITS):

@@ -54,3 +54,44 @@ class HashTableFullError(IndexError_):
 
 class WorkloadError(ReproError):
     """A workload specification is invalid."""
+
+
+class RetryExhaustedError(ReproError):
+    """A bounded retry loop used up its attempt budget.
+
+    Raised by :class:`repro.retry.RetryState` when an operation (lock
+    acquisition, optimistic read validation, or a whole index operation)
+    keeps failing past ``RetryPolicy.max_attempts``.  Replaces silent
+    live-locking: an orphaned remote lock or a persistently torn node
+    surfaces as this typed error instead of hanging the client.
+    """
+
+
+class OperationTimeoutError(ReproError):
+    """An operation overran its retry deadline in simulated time.
+
+    Raised by :class:`repro.retry.RetryState` when
+    ``RetryPolicy.deadline`` (seconds of simulated time from the first
+    attempt) elapses before the operation completes.
+    """
+
+
+class LockLeaseExpiredError(ReproError):
+    """A lock holder outlived its own lease.
+
+    With lease-based locks enabled, a holder that reaches its unlock
+    after the lease expiry may already have been stolen from; writing
+    the unlock would clobber the stealer's state.  The unlock path
+    raises this instead.  Seeing it means ``lease_duration`` is too
+    short for the configured operation latency.
+    """
+
+
+class FaultInjectedError(ReproError):
+    """An injected fault (verb loss / MN unavailability) failed a verb.
+
+    Raised by :class:`repro.faults.FaultInjector` after charging the
+    verb-timeout delay.  Index operations treat it like a transient
+    fabric error and retry within their :class:`repro.retry.RetryPolicy`
+    budget.
+    """

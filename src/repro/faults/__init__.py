@@ -1,0 +1,31 @@
+"""repro.faults — fault injection, crash recovery checking, and chaos runs.
+
+Three pieces:
+
+* :mod:`repro.faults.plan` — declarative, seeded fault plans (verb loss,
+  latency spikes, MN outages, CN crash points);
+* :mod:`repro.faults.injector` — the interpreter queue pairs consult on
+  every verb (installed via
+  :meth:`repro.cluster.cluster.Cluster.install_faults`);
+* :mod:`repro.faults.invariants` / :mod:`repro.faults.chaos` — the
+  whole-tree invariant checker and the seeded chaos harness built on it
+  (also exposed as the ``chaos`` CLI subcommand).
+"""
+
+from repro.faults.chaos import ChaosConfig, ChaosResult, build_plan, run_chaos
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import InvariantReport, check_tree_invariants
+from repro.faults.plan import (
+    CrashFault,
+    DelayFault,
+    FaultPlan,
+    LossFault,
+    MnOutage,
+)
+
+__all__ = [
+    "FaultPlan", "LossFault", "DelayFault", "MnOutage", "CrashFault",
+    "FaultInjector",
+    "InvariantReport", "check_tree_invariants",
+    "ChaosConfig", "ChaosResult", "build_plan", "run_chaos",
+]

@@ -1,0 +1,207 @@
+"""The chaos harness: seeded fault campaigns against a live CHIME tree.
+
+:func:`run_chaos` builds a small cluster, bulk-loads a CHIME index,
+installs a :class:`~repro.faults.plan.FaultPlan` derived from a
+:class:`ChaosConfig` (by default: crash one client's CN between its
+lock-acquiring CAS and the unlocking WRITE), drives a mixed workload
+from every client, and then verifies the tree with
+:func:`~repro.faults.invariants.check_tree_invariants`.
+
+Everything — workload choices, fault draws, simulated time — is seeded,
+so a config maps to exactly one :class:`ChaosResult`; running twice and
+comparing ``json.dumps(result.to_dict(), sort_keys=True)`` is the
+determinism regression test.
+
+The canonical experiment pair (see EXPERIMENTS.md):
+
+* ``lock_leases=False`` — the crashed client's leaf lock is orphaned;
+  survivors that touch the victim leaf spin their whole retry budget and
+  die with :class:`~repro.errors.RetryExhaustedError`; the invariant
+  checker flags the stuck lock bit.
+* ``lock_leases=True`` — survivors wait out the lease, CAS-steal it,
+  repair the leaf, and every survivor operation completes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.config import ChimeConfig, ClusterConfig
+from repro.core import ChimeIndex
+from repro.core.node_layout import sim_us
+from repro.errors import ReproError
+from repro.faults.invariants import InvariantReport, check_tree_invariants
+from repro.faults.plan import FaultPlan
+from repro.obs import recording
+from repro.retry import DEFAULT_RETRY_POLICY
+from repro.workloads.ycsb import dataset
+
+__all__ = ["ChaosConfig", "ChaosResult", "build_plan", "run_chaos"]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos campaign, fully determined by its fields."""
+
+    seed: int = 7
+    num_cns: int = 2
+    num_mns: int = 1
+    clients_per_cn: int = 3
+    #: Bulk-loaded keys, sampled sparsely from [1, key_space] so client
+    #: operations spread across many leaves.
+    initial_keys: int = 400
+    key_space: int = 800
+    ops_per_client: int = 40
+    span: int = 64
+    # Recovery knobs.
+    lock_leases: bool = True
+    lease_duration: float = 200e-6
+    # Retry policy (None deadline = attempts-bounded only).
+    max_attempts: int = 256
+    deadline: Optional[float] = None
+    # Crash spec ("" disables). The default kills cn0/c0's CN right
+    # before its first write verb — i.e. with the leaf lock held and no
+    # data landed, the worst orphan a dead CN can leave behind.
+    crash_owner: str = "cn0/c0"
+    crash_kinds: Tuple[str, ...] = ("write", "write_batch")
+    crash_nth: int = 1
+    crash_when: str = "before"
+    # Fabric noise.
+    loss_probability: float = 0.0
+    loss_max_count: Optional[int] = None
+    delay_probability: float = 0.0
+    delay: float = 5e-6
+    #: (mn_id, start, end) unavailability windows in simulated seconds.
+    mn_outages: Tuple[Tuple[int, float, float], ...] = ()
+    verb_timeout: float = 10e-6
+    # Workload mix (remainder of the unit interval is searches).
+    insert_fraction: float = 0.5
+    update_fraction: float = 0.25
+
+
+@dataclass
+class ChaosResult:
+    """Everything a chaos run produced, JSON-stable for diffing."""
+
+    config: Dict
+    sim_time_us: int
+    completed: Dict[str, int]
+    errors: List[Dict]
+    inserted: int
+    dead_cns: List[int]
+    fault_counters: Dict[str, int]
+    metrics: Dict[str, float]
+    invariants: InvariantReport = field(default_factory=InvariantReport)
+
+    @property
+    def ok(self) -> bool:
+        return self.invariants.ok and not self.errors
+
+    def to_dict(self) -> Dict:
+        return {
+            "config": self.config,
+            "sim_time_us": self.sim_time_us,
+            "completed": dict(sorted(self.completed.items())),
+            "errors": list(self.errors),
+            "inserted": self.inserted,
+            "dead_cns": list(self.dead_cns),
+            "fault_counters": dict(sorted(self.fault_counters.items())),
+            "metrics": dict(sorted(self.metrics.items())),
+            "invariants": self.invariants.to_dict(),
+        }
+
+
+def build_plan(cfg: ChaosConfig) -> FaultPlan:
+    """Translate a :class:`ChaosConfig` into a :class:`FaultPlan`."""
+    plan = FaultPlan(seed=cfg.seed, verb_timeout=cfg.verb_timeout)
+    if cfg.crash_owner:
+        plan.crash(cfg.crash_owner, kinds=cfg.crash_kinds,
+                   nth=cfg.crash_nth, when=cfg.crash_when)
+    if cfg.loss_probability > 0.0:
+        plan.drop(cfg.loss_probability, max_count=cfg.loss_max_count)
+    if cfg.delay_probability > 0.0:
+        plan.spike(cfg.delay_probability, cfg.delay)
+    for mn_id, start, end in cfg.mn_outages:
+        plan.outage(mn_id, start, end)
+    return plan
+
+
+def _worker(cfg: ChaosConfig, client, name: str, client_index: int,
+            completed: Dict[str, int], inserted: List[int],
+            errors: List[Dict]) -> Generator:
+    """One closed-loop chaos client.
+
+    The op mix is drawn from a per-client RNG seeded from (campaign
+    seed, client index) only — no globals, no hashing — so the stream
+    is stable across runs and interpreter invocations.  The first op is
+    always an insert, guaranteeing the default crash spec (die before
+    the first write verb) catches its victim holding a leaf lock.
+    A :class:`~repro.errors.ReproError` stops the client and is
+    recorded; keys are counted committed only after the insert returns.
+    """
+    rng = random.Random(cfg.seed * 1_000_003 + 7919 * client_index)
+    try:
+        for op_index in range(cfg.ops_per_client):
+            key = rng.randrange(1, cfg.key_space + 1)
+            if op_index == 0:
+                yield from client.insert(key, key * 7 + 1)
+                inserted.append(key)
+            else:
+                draw = rng.random()
+                if draw < cfg.insert_fraction:
+                    yield from client.insert(key, key * 7 + 1)
+                    inserted.append(key)
+                elif draw < cfg.insert_fraction + cfg.update_fraction:
+                    yield from client.update(key, key * 11 + 1)
+                else:
+                    yield from client.search(key)
+            completed[name] += 1
+    except ReproError as exc:
+        errors.append({"client": name, "error": type(exc).__name__,
+                       "detail": str(exc)[:120]})
+
+
+def run_chaos(cfg: ChaosConfig) -> ChaosResult:
+    """Run one chaos campaign and check the tree afterwards."""
+    cluster_config = ClusterConfig(
+        num_cns=cfg.num_cns, num_mns=cfg.num_mns,
+        clients_per_cn=cfg.clients_per_cn,
+        lock_leases=cfg.lock_leases, lease_duration=cfg.lease_duration,
+        seed=cfg.seed)
+    retry = DEFAULT_RETRY_POLICY.scaled(max_attempts=cfg.max_attempts,
+                                        deadline=cfg.deadline)
+    with recording() as rec:
+        cluster = Cluster(cluster_config)
+        index = ChimeIndex(cluster, ChimeConfig(span=cfg.span, retry=retry))
+        pairs = dataset(cfg.initial_keys, key_space=cfg.key_space, seed=1)
+        index.bulk_load(pairs)
+        injector = cluster.install_faults(build_plan(cfg))
+        completed: Dict[str, int] = {}
+        inserted: List[int] = []
+        errors: List[Dict] = []
+        for client_index, ctx in enumerate(cluster.clients()):
+            name = ctx.name
+            completed[name] = 0
+            cluster.engine.process(
+                _worker(cfg, index.client(ctx), name, client_index,
+                        completed, inserted, errors),
+                name=f"chaos-{name}")
+        cluster.run()
+        expected = set(k for k, _ in pairs) | set(inserted)
+        invariants = check_tree_invariants(index, expected_keys=expected)
+        metrics = rec.notes()
+    errors.sort(key=lambda e: e["client"])
+    return ChaosResult(
+        config=asdict(cfg),
+        sim_time_us=sim_us(cluster.engine.now),
+        completed=completed,
+        errors=errors,
+        inserted=len(set(inserted)),
+        dead_cns=sorted(injector.dead_cns),
+        fault_counters=dict(sorted(injector.counters.items())),
+        metrics=metrics,
+        invariants=invariants,
+    )

@@ -1,0 +1,184 @@
+"""Whole-tree invariant checking for chaos runs.
+
+:func:`check_tree_invariants` walks a CHIME tree host-side (off the
+simulated data path) after a run — possibly one that included injected
+faults and CN crashes — and verifies the structural invariants the index
+must uphold no matter what failed:
+
+* no leaf lock bit left set, and no lease held (an unexpired foreign
+  lease or an expired orphan both mean recovery failed);
+* every hopscotch home bitmap agrees with the entries actually stored
+  in its neighborhood;
+* fence keys are ordered and chain exactly across the leaf level;
+* every key the workload knows to be committed is readable.
+
+Soft checks (stale piggybacked ``argmax``/vacancy metadata, which later
+operations self-correct) are reported as warnings, not violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.node_layout import (
+    LOCK_LEASE_OFFSET,
+    sim_us,
+    unpack_lease,
+    unpack_lock_word,
+)
+from repro.core.nodes import InternalNodeView, LeafNodeView
+from repro.core.sync import reconstruct_bitmap
+from repro.layout import MAX_KEY, StripedSpan, decode_key, decode_u64
+from repro.memory import NULL_ADDR
+
+__all__ = ["InvariantReport", "check_tree_invariants"]
+
+#: Lock-line offsets of the leaf fence keys (mirrors repro.core.chime).
+_FENCE_LOW_OFF = 8
+_FENCE_HIGH_OFF = 16
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of one whole-tree check."""
+
+    violations: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    leaves: int = 0
+    keys: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict:
+        return {
+            "ok": self.ok,
+            "violations": list(self.violations),
+            "warnings": list(self.warnings),
+            "leaves": self.leaves,
+            "keys": self.keys,
+        }
+
+
+def _leftmost_leaf(index) -> int:
+    """Host-side descent through ``children[0]`` to the leftmost leaf.
+
+    ``leaf_addrs()`` is not used: it relies on parent entries, which a
+    half-split (published only through sibling pointers) bypasses.  The
+    sibling chain from the leftmost leaf is the authoritative leaf set.
+    """
+    layout = index.internal_layout
+    addr = index.root_addr
+    if addr == NULL_ADDR:
+        return NULL_ADDR
+    for _level in range(64):
+        raw = index._host_read(addr, layout.raw_size)
+        parsed = InternalNodeView(layout, StripedSpan(raw, 0)).parse(addr)
+        child = parsed.children[0]
+        if parsed.level == 1:
+            return child
+        addr = child
+    return NULL_ADDR
+
+
+def check_tree_invariants(index,
+                          expected_keys: Optional[Iterable[int]] = None
+                          ) -> InvariantReport:
+    """Verify *index* (a :class:`~repro.core.chime.ChimeIndex`) host-side.
+
+    *expected_keys* are keys known committed (bulk-loaded plus inserts
+    whose operation returned before the run ended); each must be
+    readable from some leaf.
+    """
+    report = InvariantReport()
+    layout = index.leaf_layout
+    engine = index.cluster.engine
+    now_us = sim_us(engine.now)
+    leases_on = index.cluster.config.lock_leases
+    addr = _leftmost_leaf(index)
+    if addr == NULL_ADDR:
+        report.violations.append("tree has no leaves (no root?)")
+        return report
+    present: Dict[int, int] = {}
+    seen = set()
+    prev_fence_high: Optional[int] = None
+    while addr != NULL_ADDR:
+        if addr in seen:
+            report.violations.append(
+                f"leaf {addr:#x}: sibling chain cycles")
+            break
+        seen.add(addr)
+        report.leaves += 1
+        raw = index._host_read(addr, layout.raw_size)
+        view = LeafNodeView(layout, StripedSpan(raw, 0))
+        line = index._host_read(addr + layout.lock_offset,
+                                LOCK_LEASE_OFFSET + 8)
+        locked, argmax, vacancy = unpack_lock_word(decode_u64(line, 0))
+        fence_low = decode_key(line, _FENCE_LOW_OFF)
+        fence_high = decode_key(line, _FENCE_HIGH_OFF)
+        owner, _epoch, expiry_us = unpack_lease(
+            decode_u64(line, LOCK_LEASE_OFFSET))
+        if locked:
+            report.violations.append(
+                f"leaf {addr:#x}: lock bit still set after the run")
+        if owner != 0:
+            if now_us >= expiry_us:
+                report.violations.append(
+                    f"leaf {addr:#x}: orphaned lease (owner {owner}, "
+                    f"expired {expiry_us}us <= now {now_us}us, never "
+                    f"stolen)")
+            elif leases_on:
+                report.violations.append(
+                    f"leaf {addr:#x}: lease still held by owner {owner} "
+                    f"after the run")
+        # Fence ordering + chaining.
+        if fence_low >= fence_high:
+            report.violations.append(
+                f"leaf {addr:#x}: fences out of order "
+                f"({fence_low} >= {fence_high})")
+        if prev_fence_high is not None and fence_low != prev_fence_high:
+            report.violations.append(
+                f"leaf {addr:#x}: fence chain broken "
+                f"({fence_low} != previous high {prev_fence_high})")
+        prev_fence_high = fence_high
+        # Entries within fences; collect for readability check.
+        for _pos, key, value in view.items():
+            report.keys += 1
+            if not (fence_low <= key < fence_high):
+                report.violations.append(
+                    f"leaf {addr:#x}: key {key} outside fences "
+                    f"[{fence_low}, {fence_high})")
+            present[key] = value
+        # Hopscotch bitmap / entry agreement, per home slot.
+        for home in range(layout.span):
+            truth = reconstruct_bitmap(view, home, index.home_of)
+            stored = view.entry(home).bitmap
+            if stored != truth:
+                report.violations.append(
+                    f"leaf {addr:#x}: home {home} bitmap {stored:#06x} "
+                    f"disagrees with entries {truth:#06x}")
+        # Piggybacked metadata (self-correcting: warnings only).
+        occupied = [view.entry(pos).occupied for pos in range(layout.span)]
+        true_vacancy = index.vacancy_map.compose(occupied)
+        if vacancy & ~true_vacancy:
+            report.warnings.append(
+                f"leaf {addr:#x}: vacancy bitmap overclaims fullness "
+                f"({vacancy:#x} vs {true_vacancy:#x})")
+        if any(occupied) and argmax != view.argmax_key():
+            report.warnings.append(
+                f"leaf {addr:#x}: stale argmax {argmax} "
+                f"(true {view.argmax_key()})")
+        addr = view.replica_sibling(0)
+    if prev_fence_high is not None and prev_fence_high != MAX_KEY:
+        report.violations.append(
+            f"rightmost leaf fence_high {prev_fence_high} != MAX_KEY")
+    if expected_keys is not None:
+        missing = sorted(k for k in expected_keys if k not in present)
+        for key in missing[:10]:
+            report.violations.append(f"committed key {key} is unreadable")
+        if len(missing) > 10:
+            report.violations.append(
+                f"... and {len(missing) - 10} more committed keys missing")
+    return report

@@ -1,0 +1,146 @@
+"""Declarative fault plans for the simulated fabric.
+
+A :class:`FaultPlan` is a seeded, deterministic description of what goes
+wrong during a run: verb losses, NIC latency spikes, MN unavailability
+windows, and CN crashes pinned to a precise point inside an in-flight
+operation (e.g. *after* the lock-acquiring CAS, *before* the unlocking
+WRITE).  The plan itself is inert data — a
+:class:`~repro.faults.injector.FaultInjector` interprets it against live
+queue pairs (see :meth:`repro.cluster.cluster.Cluster.install_faults`).
+
+Fault matching vocabulary:
+
+* ``kinds`` — verb names as the queue pair reports them (``read``,
+  ``read_batch``, ``write``, ``write_batch``, ``cas``, ``masked_cas``,
+  ``faa``, ``rpc``); None matches every verb.
+* ``owner`` — a client identity string (``"cn0/c0"``, set by
+  :class:`~repro.cluster.compute.ClientContext`); empty matches anyone.
+* ``start`` / ``end`` — a half-open window in simulated seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+__all__ = ["LossFault", "DelayFault", "MnOutage", "CrashFault", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class LossFault:
+    """A verb vanishes on the wire: the client charges the verb timeout
+    and sees :class:`~repro.errors.FaultInjectedError`; the memory effect
+    never happens (at-most-once semantics)."""
+
+    probability: float
+    kinds: Optional[frozenset] = None
+    owner: str = ""
+    start: float = 0.0
+    end: float = math.inf
+    #: Cap on how many times this spec may fire (None = unlimited).
+    max_count: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class DelayFault:
+    """A NIC latency spike: the verb completes normally but *delay*
+    extra simulated seconds are charged first."""
+
+    probability: float
+    delay: float
+    kinds: Optional[frozenset] = None
+    owner: str = ""
+    start: float = 0.0
+    end: float = math.inf
+
+
+@dataclass(frozen=True)
+class MnOutage:
+    """One memory node is unreachable for [start, end): every verb
+    addressing it times out and fails."""
+
+    mn_id: int
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Kill a compute node at a chosen verb of a chosen client.
+
+    The *nth* verb issued by *owner* whose kind is in *kinds* triggers
+    the crash, either ``before`` the verb takes any effect or ``after``
+    it completed.  The whole CN dies: the triggering client parks
+    forever mid-operation (no Python-level unwinding runs, exactly like
+    a real crash — locks it holds stay held), and every other client of
+    that CN parks at its next verb.
+    """
+
+    owner: str
+    kinds: frozenset = frozenset({"write", "write_batch"})
+    nth: int = 1
+    when: str = "before"
+
+    def __post_init__(self) -> None:
+        if self.when not in ("before", "after"):
+            raise ValueError(f"crash 'when' must be before/after: {self.when}")
+        if self.nth < 1:
+            raise ValueError("crash 'nth' is 1-based")
+
+
+class FaultPlan:
+    """A seeded collection of fault specs with fluent builders.
+
+    ``seed`` drives every probabilistic draw the injector makes, so the
+    same plan against the same workload produces byte-identical runs.
+    ``verb_timeout`` is the simulated time a client burns discovering a
+    lost verb or an unreachable MN.
+    """
+
+    def __init__(self, seed: int = 0, verb_timeout: float = 10e-6) -> None:
+        self.seed = seed
+        self.verb_timeout = verb_timeout
+        self.losses: List[LossFault] = []
+        self.delays: List[DelayFault] = []
+        self.outages: List[MnOutage] = []
+        self.crashes: List[CrashFault] = []
+
+    # -- fluent builders -----------------------------------------------------
+
+    def drop(self, probability: float,
+             kinds: Optional[Sequence[str]] = None, owner: str = "",
+             start: float = 0.0, end: float = math.inf,
+             max_count: Optional[int] = None) -> "FaultPlan":
+        """Lose matching verbs with the given probability."""
+        self.losses.append(LossFault(
+            probability, frozenset(kinds) if kinds is not None else None,
+            owner, start, end, max_count))
+        return self
+
+    def spike(self, probability: float, delay: float,
+              kinds: Optional[Sequence[str]] = None, owner: str = "",
+              start: float = 0.0, end: float = math.inf) -> "FaultPlan":
+        """Add a latency spike of *delay* seconds to matching verbs."""
+        self.delays.append(DelayFault(
+            probability, delay,
+            frozenset(kinds) if kinds is not None else None,
+            owner, start, end))
+        return self
+
+    def outage(self, mn_id: int, start: float, end: float) -> "FaultPlan":
+        """Make MN *mn_id* unreachable during [start, end)."""
+        self.outages.append(MnOutage(mn_id, start, end))
+        return self
+
+    def crash(self, owner: str,
+              kinds: Sequence[str] = ("write", "write_batch"),
+              nth: int = 1, when: str = "before") -> "FaultPlan":
+        """Crash *owner*'s CN at its nth matching verb."""
+        self.crashes.append(CrashFault(owner, frozenset(kinds), nth, when))
+        return self
+
+    @property
+    def empty(self) -> bool:
+        return not (self.losses or self.delays or self.outages
+                    or self.crashes)

@@ -195,6 +195,11 @@ class MetricsCollector:
             registry.counter(f"sync.torn_l{data['level']}").inc()
         elif kind == "lock.cas_fail":
             registry.counter(kind).inc()
+        elif kind in ("lock.steal", "lock.lease_expired", "lock.repair",
+                      "lock.lease_overrun"):
+            registry.counter(kind).inc()
+        elif kind.startswith("fault."):
+            registry.counter(kind).inc()
         elif kind == "hopscotch.displacement":
             registry.histogram(kind, _DISPLACEMENT_BUCKETS).observe(
                 data["moves"])

@@ -130,11 +130,17 @@ def traced_span(bus: EventBus, client: str, seq: int, name: str, level: str,
 
     A span is emitted even when the wrapped generator raises (flagged
     ``error=True``) so retry storms stay visible in the timeline.
+    GeneratorExit is the one exception that emits nothing: it means the
+    generator was abandoned (e.g. a fault-injected CN crash parked it
+    forever and it is being reclaimed), not that the operation errored —
+    and reclamation can happen while a *later* recording is active.
     """
     begin = engine.now
     rtts_before = qp.stats.rtts if qp is not None else 0
     try:
         result = yield from gen
+    except GeneratorExit:
+        raise
     except BaseException:
         bus.emit("span", engine.now, client=client, name=name, seq=seq,
                  level=level, begin=begin, end=engine.now,

@@ -55,6 +55,13 @@ class RdmaQp:
         self._cn_nic = cn_nic
         self._torn_writes = torn_writes
         self.stats = TrafficStats()
+        #: Identity of the owning client (set by ClientContext); the
+        #: fault injector matches crash/loss specs against these.
+        self.owner = ""
+        self.cn_id = -1
+        #: Optional :class:`repro.faults.FaultInjector`; every verb
+        #: consults it before (and after) taking effect.
+        self.injector = None
 
     def _mn(self, addr: int) -> "MemoryNode":
         mn_id = addr_mn(addr)
@@ -74,20 +81,30 @@ class RdmaQp:
 
     def read(self, addr: int, length: int) -> Generator:
         """One-sided READ of *length* bytes; returns the payload."""
+        if self.injector is not None:
+            yield from self.injector.before_verb(self, "read", addr)
         self.stats.rtts += 1
         if BUS.active:
             self._emit_verb("read", addr, length)
         data, = yield from self._read_group([(addr, length)])
+        if self.injector is not None:
+            yield from self.injector.after_verb(self, "read", addr)
         return data
 
     def read_batch(self, requests: Sequence[Tuple[int, int]]) -> Generator:
         """Doorbell-batched READs: one round trip, per-verb NIC charges."""
+        if self.injector is not None:
+            yield from self.injector.before_verb(self, "read_batch",
+                                                 requests[0][0])
         self.stats.rtts += 1
         if BUS.active:
             self._emit_verb("read_batch", requests[0][0],
                             sum(size for _a, size in requests),
                             batch=len(requests))
         results = yield from self._read_group(requests)
+        if self.injector is not None:
+            yield from self.injector.after_verb(self, "read_batch",
+                                                requests[0][0])
         return results
 
     def _read_group(self, requests: Sequence[Tuple[int, int]]) -> Generator:
@@ -126,10 +143,14 @@ class RdmaQp:
 
     def write(self, addr: int, data: bytes) -> Generator:
         """One-sided WRITE; returns once the remote ack arrives."""
+        if self.injector is not None:
+            yield from self.injector.before_verb(self, "write", addr)
         self.stats.rtts += 1
         if BUS.active:
             self._emit_verb("write", addr, len(data))
         yield from self._write_group([(addr, data)])
+        if self.injector is not None:
+            yield from self.injector.after_verb(self, "write", addr)
 
     def write_batch(self, requests: Sequence[Tuple[int, bytes]]) -> Generator:
         """Doorbell-batched WRITEs: one round trip, per-verb NIC charges.
@@ -137,12 +158,18 @@ class RdmaQp:
         The verbs land in order (the QP is ordered), which CHIME relies on
         when combining a data write with the unlocking write.
         """
+        if self.injector is not None:
+            yield from self.injector.before_verb(self, "write_batch",
+                                                 requests[0][0])
         self.stats.rtts += 1
         if BUS.active:
             self._emit_verb("write_batch", requests[0][0],
                             sum(len(data) for _a, data in requests),
                             batch=len(requests))
         yield from self._write_group(requests)
+        if self.injector is not None:
+            yield from self.injector.after_verb(self, "write_batch",
+                                                requests[0][0])
 
     def _write_group(self, requests: Sequence[Tuple[int, bytes]]) -> Generator:
         """Deliver write payloads; large payloads land chunk by chunk.
@@ -206,20 +233,18 @@ class RdmaQp:
             offset += CACHE_LINE
         return chunks
 
-    @staticmethod
-    def _chunk_writer(mn: "MemoryNode", addr: int, chunk: bytes):
-        def land(_event) -> None:
-            mn.mem_write(addr, chunk)
-        return land
-
     # --------------------------------------------------------------- ATOMICS
 
     def cas(self, addr: int, expected: int, new: int) -> Generator:
         """Atomic compare-and-swap; returns ``(old_value, swapped)``."""
+        if self.injector is not None:
+            yield from self.injector.before_verb(self, "cas", addr)
         if BUS.active:
             self._emit_verb("cas", addr, ATOMIC_PAYLOAD)
         result = yield from self._atomic(
             addr, lambda mn: mn.mem_cas(addr, expected, new))
+        if self.injector is not None:
+            yield from self.injector.after_verb(self, "cas", addr)
         return result
 
     def masked_cas(self, addr: int, compare: int, swap: int,
@@ -230,19 +255,27 @@ class RdmaQp:
         the masks — the property CHIME's vacancy-bitmap piggybacking uses
         to read metadata for free during lock acquisition.
         """
+        if self.injector is not None:
+            yield from self.injector.before_verb(self, "masked_cas", addr)
         if BUS.active:
             self._emit_verb("masked_cas", addr, ATOMIC_PAYLOAD)
         result = yield from self._atomic(
             addr, lambda mn: mn.mem_masked_cas(addr, compare, swap,
                                                compare_mask, swap_mask))
+        if self.injector is not None:
+            yield from self.injector.after_verb(self, "masked_cas", addr)
         return result
 
     def faa(self, addr: int, delta: int) -> Generator:
         """Atomic fetch-and-add; returns the old value."""
+        if self.injector is not None:
+            yield from self.injector.before_verb(self, "faa", addr)
         if BUS.active:
             self._emit_verb("faa", addr, ATOMIC_PAYLOAD)
         result = yield from self._atomic(
             addr, lambda mn: (mn.mem_faa(addr, delta), True))
+        if self.injector is not None:
+            yield from self.injector.after_verb(self, "faa", addr)
         return result[0]
 
     def _atomic(self, addr: int, effect) -> Generator:
@@ -268,6 +301,8 @@ class RdmaQp:
 
     def rpc(self, mn_id: int, request) -> Generator:
         """Two-sided RPC to a memory node's weak CPU (allocation only)."""
+        if self.injector is not None:
+            yield from self.injector.before_verb(self, "rpc", 0, mn_id=mn_id)
         self.stats.rtts += 1
         self.stats.rpcs += 1
         if BUS.active:
@@ -286,4 +321,6 @@ class RdmaQp:
         yield self.engine.timeout(mn.nic.spec.latency)
         if self._cn_nic is not None:
             yield self._cn_nic.receive(RPC_RESPONSE_BYTES)
+        if self.injector is not None:
+            yield from self.injector.after_verb(self, "rpc", 0, mn_id=mn_id)
         return reply

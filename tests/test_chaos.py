@@ -1,0 +1,114 @@
+"""Chaos acceptance tests: CN crash mid-operation, recovery, determinism.
+
+Marked ``chaos`` so CI can run them as a dedicated smoke job
+(``pytest -m chaos``); they also run in the default suite.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.faults import ChaosConfig, check_tree_invariants, run_chaos
+
+pytestmark = pytest.mark.chaos
+
+#: The canonical campaign: kill cn0/c0's CN right before its first WRITE
+#: verb — after the lock-acquiring CAS, before the unlocking WRITE.
+CANONICAL = ChaosConfig()
+
+
+class TestCrashRecovery:
+    def test_without_leases_orphaned_lock_wedges_survivors(self):
+        result = run_chaos(dataclasses.replace(CANONICAL, lock_leases=False))
+        # The victim CN died holding at least one leaf lock...
+        assert result.dead_cns == [0]
+        assert result.fault_counters["fault.crash"] == 1
+        assert any("lock bit still set" in violation
+                   for violation in result.invariants.violations)
+        # ...and survivors that needed that leaf burned their whole retry
+        # budget and surfaced the typed error.
+        assert result.errors
+        assert {e["error"] for e in result.errors} == {"RetryExhaustedError"}
+        assert all(e["client"].startswith("cn1/") for e in result.errors)
+
+    def test_with_leases_survivors_steal_and_complete(self):
+        result = run_chaos(CANONICAL)
+        assert result.dead_cns == [0]
+        assert result.errors == []
+        # Every survivor client finished its full op stream.
+        for name, count in result.completed.items():
+            expected = 0 if name.startswith("cn0/") else \
+                CANONICAL.ops_per_client
+            assert count == expected, name
+        # Recovery showed up in the observability metrics...
+        assert result.metrics.get("obs.lock.steal", 0) >= 1
+        assert result.metrics.get("obs.lock.repair", 0) >= 1
+        assert result.metrics.get("obs.fault.crash", 0) == 1
+        # ...and the tree is structurally clean, locks released, every
+        # committed key readable.
+        assert result.invariants.ok, result.invariants.violations
+
+    def test_lossy_fabric_with_leases_stays_consistent(self):
+        cfg = dataclasses.replace(
+            CANONICAL, loss_probability=0.02, delay_probability=0.05,
+            mn_outages=((0, 100e-6, 200e-6),))
+        result = run_chaos(cfg)
+        assert result.fault_counters.get("fault.loss", 0) > 0
+        assert result.errors == []
+        assert result.invariants.ok, result.invariants.violations
+
+
+class TestDeterminism:
+    def test_same_seeds_give_byte_identical_results(self):
+        first = json.dumps(run_chaos(CANONICAL).to_dict(), sort_keys=True)
+        second = json.dumps(run_chaos(CANONICAL).to_dict(), sort_keys=True)
+        assert first == second
+
+    def test_different_seed_gives_a_different_run(self):
+        other = dataclasses.replace(CANONICAL, seed=8)
+        first = json.dumps(run_chaos(CANONICAL).to_dict(), sort_keys=True)
+        second = json.dumps(run_chaos(other).to_dict(), sort_keys=True)
+        assert first != second
+
+
+class TestInvariantChecker:
+    def test_clean_run_without_faults_passes(self):
+        cfg = dataclasses.replace(CANONICAL, crash_owner="")
+        result = run_chaos(cfg)
+        assert result.dead_cns == []
+        assert result.errors == []
+        assert result.invariants.ok
+        assert result.invariants.leaves > 1
+        assert result.invariants.keys >= CANONICAL.initial_keys
+
+    def test_checker_catches_a_planted_stuck_lock(self):
+        from repro.cluster import Cluster
+        from repro.config import ChimeConfig, ClusterConfig
+        from repro.core import ChimeIndex
+        from repro.core.node_layout import LOCK_BIT
+        from repro.layout import encode_u64
+
+        cluster = Cluster(ClusterConfig(num_cns=1, clients_per_cn=1))
+        index = ChimeIndex(cluster, ChimeConfig())
+        index.bulk_load([(k, k) for k in range(1, 200)])
+        assert check_tree_invariants(index).ok
+        addr = index.leaf_addrs()[0]
+        lock_addr = addr + index.leaf_layout.lock_offset
+        word = int.from_bytes(index._host_read(lock_addr, 8), "little")
+        index._host_write(lock_addr, encode_u64(word | LOCK_BIT))
+        report = check_tree_invariants(index)
+        assert not report.ok
+        assert any("lock bit" in v for v in report.violations)
+
+    def test_checker_catches_a_missing_committed_key(self):
+        from repro.cluster import Cluster
+        from repro.config import ChimeConfig, ClusterConfig
+        from repro.core import ChimeIndex
+
+        cluster = Cluster(ClusterConfig(num_cns=1, clients_per_cn=1))
+        index = ChimeIndex(cluster, ChimeConfig())
+        index.bulk_load([(k, k) for k in range(1, 100)])
+        report = check_tree_invariants(index, expected_keys={1, 50, 5000})
+        assert any("5000" in v and "unreadable" in v
+                   for v in report.violations)

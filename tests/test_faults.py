@@ -1,0 +1,288 @@
+"""Unit tests for retry policies, lease encoding, and fault injection."""
+
+import random
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ChimeConfig, ClusterConfig
+from repro.core import ChimeIndex
+from repro.core.node_layout import (
+    LOCK_LEASE_OFFSET,
+    lease_expiry_us,
+    pack_lease,
+    sim_us,
+    unpack_lease,
+)
+from repro.errors import (
+    FaultInjectedError,
+    LayoutError,
+    LockLeaseExpiredError,
+    OperationTimeoutError,
+    ReproError,
+    RetryExhaustedError,
+)
+from repro.faults import FaultInjector, FaultPlan
+from repro.memory import make_addr
+from repro.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.sim import Engine
+
+
+def drive(engine, gen):
+    """Run one coroutine to completion, returning its value."""
+    holder = []
+
+    def wrapper():
+        value = yield from gen
+        holder.append(value)
+
+    engine.process(wrapper())
+    engine.run()
+    return holder[0] if holder else None
+
+
+class TestRetryPolicy:
+    def test_default_matches_legacy_constants(self):
+        assert DEFAULT_RETRY_POLICY.max_attempts == 256
+        assert DEFAULT_RETRY_POLICY.deadline is None
+        # Legacy backoff_delay(attempt) = 0.2us * min(attempt + 1, 16).
+        for attempt in range(20):
+            expected = 0.2e-6 * min(attempt + 1, 16)
+            assert DEFAULT_RETRY_POLICY.delay(attempt) == \
+                pytest.approx(expected)
+
+    def test_linear_cap_applies(self):
+        policy = RetryPolicy(base_backoff=1e-6, linear_cap=4)
+        assert policy.delay(10) == pytest.approx(4e-6)
+
+    def test_exponential_backoff_caps_at_max(self):
+        policy = RetryPolicy(base_backoff=1e-6, exponential=True,
+                             multiplier=2.0, max_backoff=8e-6)
+        assert policy.delay(0) == pytest.approx(1e-6)
+        assert policy.delay(2) == pytest.approx(4e-6)
+        assert policy.delay(10) == pytest.approx(8e-6)
+
+    def test_jitter_is_seeded_and_bounded(self):
+        policy = RetryPolicy(base_backoff=1e-6, jitter=0.5)
+        values = [policy.delay(0, random.Random(7)) for _ in range(3)]
+        assert values[0] == values[1] == values[2]
+        assert 0.5e-6 <= values[0] <= 1.5e-6
+        assert values[0] != pytest.approx(1e-6)
+
+    def test_attempts_exhaust_with_typed_error(self):
+        engine = Engine()
+        state = RetryPolicy(max_attempts=3).start("op", engine, None)
+        assert state.check() and state.check() and state.check()
+        with pytest.raises(RetryExhaustedError, match="3 attempts"):
+            state.check()
+
+    def test_deadline_raises_timeout(self):
+        engine = Engine()
+        policy = RetryPolicy(max_attempts=1000, deadline=5e-6)
+
+        def loop():
+            state = policy.start("op", engine, None)
+            while state.check():
+                yield engine.timeout(2e-6)
+
+        with pytest.raises(OperationTimeoutError, match="deadline"):
+            drive(engine, loop())
+
+    def test_scaled_overrides(self):
+        policy = DEFAULT_RETRY_POLICY.scaled(max_attempts=7, deadline=1.0)
+        assert policy.max_attempts == 7
+        assert policy.deadline == 1.0
+        assert DEFAULT_RETRY_POLICY.max_attempts == 256
+
+    def test_backoff_generator_matches_delay(self):
+        engine = Engine()
+        policy = RetryPolicy(max_attempts=4, base_backoff=1e-6)
+
+        def loop():
+            state = policy.start("op", engine, None)
+            while True:
+                try:
+                    state.check()
+                except RetryExhaustedError:
+                    return engine.now
+                yield from state.backoff()
+
+        # Attempts 1..4 back off with delay(0..3) = 1,2,3,4 us.
+        assert drive(engine, loop()) == pytest.approx(10e-6)
+
+
+class TestLeaseWord:
+    def test_pack_unpack_roundtrip(self):
+        word = pack_lease(0xABC, 0x54321, 0xDEADBEEF)
+        assert unpack_lease(word) == (0xABC, 0x54321, 0xDEADBEEF)
+
+    def test_owner_must_fit_twelve_bits(self):
+        with pytest.raises(LayoutError):
+            pack_lease(1 << 12, 0, 0)
+
+    def test_epoch_wraps_instead_of_overflowing(self):
+        owner, epoch, _ = unpack_lease(pack_lease(1, (1 << 20) + 5, 0))
+        assert owner == 1
+        assert epoch == 5
+
+    def test_expiry_helpers_use_microsecond_grain(self):
+        assert sim_us(1.5e-6) == 1
+        assert lease_expiry_us(0.0, 200e-6) == 201
+
+
+class TestErrorHierarchy:
+    def test_all_fault_errors_are_repro_errors(self):
+        for exc_type in (RetryExhaustedError, OperationTimeoutError,
+                         LockLeaseExpiredError, FaultInjectedError):
+            assert issubclass(exc_type, ReproError)
+
+
+class TestFaultPlan:
+    def test_crash_when_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan().crash("cn0/c0", when="during")
+
+    def test_crash_nth_is_one_based(self):
+        with pytest.raises(ValueError):
+            FaultPlan().crash("cn0/c0", nth=0)
+
+    def test_builders_chain_and_fill_lists(self):
+        plan = (FaultPlan(seed=3).drop(0.5).spike(0.1, 1e-6)
+                .outage(0, 0.0, 1.0).crash("cn0/c0"))
+        assert not plan.empty
+        assert len(plan.losses) == len(plan.delays) == 1
+        assert len(plan.outages) == len(plan.crashes) == 1
+
+
+def make_injected_cluster(plan, clients=1):
+    cluster = Cluster(ClusterConfig(num_cns=1, clients_per_cn=clients))
+    injector = cluster.install_faults(plan)
+    return cluster, injector
+
+
+class TestInjection:
+    def test_certain_loss_times_out_without_memory_effect(self):
+        plan = FaultPlan(seed=1, verb_timeout=10e-6)
+        plan.drop(1.0, kinds=("write",), max_count=1)
+        cluster, injector = make_injected_cluster(plan)
+        ctx = next(cluster.clients())
+        addr = make_addr(0, 4096)
+
+        def client():
+            try:
+                yield from ctx.qp.write(addr, b"x" * 8)
+            except FaultInjectedError:
+                pass
+            data = yield from ctx.qp.read(addr, 8)
+            return data
+
+        assert drive(cluster.engine, client()) == bytes(8)
+        assert injector.counters["fault.loss"] == 1
+        assert cluster.engine.now >= 10e-6
+
+    def test_delay_spike_slows_but_completes(self):
+        plan = FaultPlan(seed=1).spike(1.0, 50e-6, kinds=("read",))
+        cluster, injector = make_injected_cluster(plan)
+        ctx = next(cluster.clients())
+        addr = make_addr(0, 4096)
+
+        def client():
+            data = yield from ctx.qp.read(addr, 8)
+            return data
+
+        assert drive(cluster.engine, client()) == bytes(8)
+        assert injector.counters["fault.delay"] == 1
+        assert cluster.engine.now >= 50e-6
+
+    def test_outage_window_bounds_injection(self):
+        plan = FaultPlan(seed=1, verb_timeout=10e-6)
+        plan.outage(0, start=0.0, end=30e-6)
+        cluster, injector = make_injected_cluster(plan)
+        ctx = next(cluster.clients())
+        addr = make_addr(0, 4096)
+        outcomes = []
+
+        def client():
+            try:
+                yield from ctx.qp.read(addr, 8)
+                outcomes.append("ok")
+            except FaultInjectedError:
+                outcomes.append("fault")
+            yield cluster.engine.timeout(100e-6)
+            try:
+                yield from ctx.qp.read(addr, 8)
+                outcomes.append("ok")
+            except FaultInjectedError:
+                outcomes.append("fault")
+
+        drive(cluster.engine, client())
+        assert outcomes == ["fault", "ok"]
+        assert injector.counters["fault.outage"] == 1
+
+    def test_crash_parks_whole_cn_forever(self):
+        plan = FaultPlan(seed=1).crash("cn0/c0", kinds=("write",), nth=1)
+        cluster, injector = make_injected_cluster(plan, clients=2)
+        contexts = list(cluster.clients())
+        addr = make_addr(0, 4096)
+        progress = []
+
+        def victim():
+            yield from contexts[0].qp.write(addr, b"x" * 8)
+            progress.append("victim finished")
+
+        def sibling():
+            yield cluster.engine.timeout(5e-6)
+            yield from contexts[1].qp.read(addr, 8)
+            progress.append("sibling finished")
+
+        cluster.engine.process(victim())
+        cluster.engine.process(sibling())
+        cluster.run()
+        assert progress == []  # both parked, heap drained anyway
+        assert injector.dead_cns == {0}
+        assert injector.counters["fault.crash"] == 1
+        # Victim parks through the crash path, sibling through dead-CN.
+        assert injector.counters["fault.dead_cn_verb"] == 2
+
+    def test_crash_after_lets_the_verb_land(self):
+        plan = FaultPlan(seed=1).crash("cn0/c0", kinds=("write",),
+                                       nth=1, when="after")
+        cluster, _ = make_injected_cluster(plan, clients=1)
+        ctx = next(cluster.clients())
+        addr = make_addr(0, 4096)
+
+        def victim():
+            yield from ctx.qp.write(addr, b"landed!!")
+
+        cluster.engine.process(victim())
+        cluster.run()
+        assert cluster.mns[0].mem_read(addr, 8) == b"landed!!"
+
+    def test_draws_are_seed_deterministic(self):
+        def campaign():
+            plan = FaultPlan(seed=5).drop(0.3)
+            cluster, injector = make_injected_cluster(plan)
+            ctx = next(cluster.clients())
+            addr = make_addr(0, 4096)
+
+            def client():
+                for _ in range(50):
+                    try:
+                        yield from ctx.qp.read(addr, 8)
+                    except FaultInjectedError:
+                        pass
+
+            drive(cluster.engine, client())
+            return injector.counters.get("fault.loss", 0)
+
+        first, second = campaign(), campaign()
+        assert first == second
+        assert first > 0
+
+
+class TestBulkLoadBound:
+    def test_degenerate_span_raises_instead_of_spinning(self):
+        cluster = Cluster(ClusterConfig(num_cns=1, clients_per_cn=1))
+        index = ChimeIndex(cluster, ChimeConfig(span=1, neighborhood=1))
+        with pytest.raises(RetryExhaustedError, match="64 internal levels"):
+            index.bulk_load([(k, k) for k in range(1, 50)])
