@@ -71,54 +71,29 @@ class ShermanLeafLayout:
     [sibling:8]``; entry: ``[version:1][key:k][value:v]``.
     """
 
-    def __init__(self, span: int, key_size: int, value_size: int) -> None:
-        self.span = span
-        self.key_size = key_size
-        self.value_size = value_size
-
-    @property
-    def header_size(self) -> int:
-        return 1 + 1 + 2 + 2 * self.key_size + 8
-
-    @property
-    def entry_size(self) -> int:
-        return 1 + self.key_size + self.value_size
-
-    @property
-    def logical_size(self) -> int:
-        return self.header_size + self.span * self.entry_size
-
-    @property
-    def raw_size(self) -> int:
-        return raw_size(self.logical_size)
-
-    @property
-    def total_size(self) -> int:
-        padded = -(-self.raw_size // CACHE_LINE) * CACHE_LINE
-        return padded + CACHE_LINE
-
-    @property
-    def lock_offset(self) -> int:
-        return self.total_size - CACHE_LINE
-
-    def entry_offset(self, index: int) -> int:
-        return self.header_size + index * self.entry_size
-
     OFF_VERSION = 0
     OFF_VALID = 1
     OFF_COUNT = 2
 
-    @property
-    def off_fence_low(self) -> int:
-        return 4
+    def __init__(self, span: int, key_size: int, value_size: int) -> None:
+        self.span = span
+        self.key_size = key_size
+        self.value_size = value_size
+        # Sizes and field offsets are all functions of the constructor
+        # arguments; precompute them once — they sit on every leaf access.
+        self.header_size = 1 + 1 + 2 + 2 * key_size + 8
+        self.entry_size = 1 + key_size + value_size
+        self.logical_size = self.header_size + span * self.entry_size
+        self.raw_size = raw_size(self.logical_size)
+        padded = -(-self.raw_size // CACHE_LINE) * CACHE_LINE
+        self.total_size = padded + CACHE_LINE
+        self.lock_offset = self.total_size - CACHE_LINE
+        self.off_fence_low = 4
+        self.off_fence_high = 4 + key_size
+        self.off_sibling = 4 + 2 * key_size
 
-    @property
-    def off_fence_high(self) -> int:
-        return 4 + self.key_size
-
-    @property
-    def off_sibling(self) -> int:
-        return 4 + 2 * self.key_size
+    def entry_offset(self, index: int) -> int:
+        return self.header_size + index * self.entry_size
 
 
 class ShermanLeafView:
@@ -187,7 +162,17 @@ class ShermanLeafView:
                              size=self.layout.value_size))
 
     def items(self) -> List[Tuple[int, int]]:
-        return [self.entry(i) for i in range(self.count)]
+        layout = self.layout
+        payload = self.span.read_logical(0, layout.logical_size)
+        count = decode_u16(payload, layout.OFF_COUNT)
+        header = layout.header_size
+        entry = layout.entry_size
+        key_size = layout.key_size
+        value_size = layout.value_size
+        return [(decode_key(payload, header + i * entry + 1),
+                 decode_value(payload, header + i * entry + 1 + key_size,
+                              size=value_size))
+                for i in range(count)]
 
     def write_entry_value(self, index: int, key: int, value: int) -> None:
         """Fine-grained entry update: payload + EV bump in lockstep."""
@@ -221,13 +206,16 @@ class ShermanLeafView:
         return None
 
     def nv_values(self) -> List[int]:
-        values = list(self.span.nv_nibbles())
-        header = self.span.read_logical(self.layout.OFF_VERSION, 1)[0]
-        values.append(unpack_version(header)[0])
-        for index in range(self.layout.span):
-            byte = self.span.read_logical(self.layout.entry_offset(index),
-                                          1)[0]
-            values.append(unpack_version(byte)[0])
+        # Sherman views always wrap a full-node image (whole-leaf reads),
+        # so one bulk payload extraction replaces span+1 tiny reads.
+        layout = self.layout
+        payload = self.span.read_logical(0, layout.logical_size)
+        values = self.span.nv_nibbles()
+        values.append((payload[layout.OFF_VERSION] >> 4) & 0xF)
+        header = layout.header_size
+        entry = layout.entry_size
+        values.extend((payload[header + index * entry] >> 4) & 0xF
+                      for index in range(layout.span))
         return values
 
     def is_consistent(self) -> bool:

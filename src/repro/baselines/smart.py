@@ -83,6 +83,11 @@ HEADER_SIZE = 16
 
 _U64 = struct.Struct("<Q")
 
+#: One pre-compiled struct per node type: unpacks the full slot array in
+#: a single call (decode_node sits on every pointer chase).
+_SLOT_STRUCTS = {node_type: struct.Struct(f"<{count}Q")
+                 for node_type, count in SLOT_COUNTS.items()}
+
 
 def pack_slot(partial: int, addr: int, leaf: bool, node_type: int = 0) -> int:
     word = _OCCUPIED | (partial << _PARTIAL_SHIFT) | _compress_addr(addr)
@@ -172,9 +177,7 @@ def decode_node(addr: int, data: bytes) -> RadixNode:
     depth = data[1]
     prefix_len = data[2]
     prefix = bytes(data[4:4 + prefix_len])
-    count = SLOT_COUNTS[node_type]
-    slots = [_U64.unpack_from(data, HEADER_SIZE + 8 * i)[0]
-             for i in range(count)]
+    slots = list(_SLOT_STRUCTS[node_type].unpack_from(data, HEADER_SIZE))
     return RadixNode(addr, node_type, depth, prefix, slots)
 
 

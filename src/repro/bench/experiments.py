@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.bench.parallel import PointSpec, sweep_rows
 from repro.bench.runner import build_index, run_point
 from repro.bench.scale import Scale, current_scale
 from repro.cluster.cluster import Cluster
@@ -98,17 +99,16 @@ def fig3b_limited_bandwidth(scale: Optional[Scale] = None,
                             ) -> List[Dict]:
     """YCSB C, 1 MN (bandwidth-limited), ample cache: client sweep."""
     scale = scale or current_scale()
-    rows: List[Dict] = []
-    for index_name in indexes:
-        for clients in scale.client_sweep:
-            config = scale.cluster_config(clients=clients, num_mns=1,
-                                          cache_bytes=10 * scale.cache_bytes)
-            result = run_point(index_name, "C", scale.num_keys,
-                               scale.ops_per_client, config,
-                               key_space=scale.key_space,
-                               chime_overrides=scale.chime_overrides())
-            rows.append(result.summary())
-    return rows
+    specs = [
+        PointSpec(index_name, "C", scale.num_keys, scale.ops_per_client,
+                  scale.cluster_config(clients=clients, num_mns=1,
+                                       cache_bytes=10 * scale.cache_bytes),
+                  key_space=scale.key_space,
+                  chime_overrides=scale.chime_overrides())
+        for index_name in indexes
+        for clients in scale.client_sweep
+    ]
+    return sweep_rows(specs)
 
 
 def fig3c_limited_cache(scale: Optional[Scale] = None,
@@ -117,18 +117,17 @@ def fig3c_limited_cache(scale: Optional[Scale] = None,
                         ) -> List[Dict]:
     """YCSB C, several MNs (ample bandwidth), the scaled 100 MB cache."""
     scale = scale or current_scale()
-    rows: List[Dict] = []
-    for index_name in indexes:
-        for clients in scale.client_sweep:
-            config = scale.cluster_config(clients=clients, num_mns=8,
-                                          cache_bytes=scale.cache_bytes)
-            result = run_point(index_name, "C", scale.num_keys,
-                               scale.ops_per_client, config,
-                               key_space=scale.key_space,
-                               chime_overrides=scale.chime_overrides(),
-                               unlimited_cache_for=())
-            rows.append(result.summary())
-    return rows
+    specs = [
+        PointSpec(index_name, "C", scale.num_keys, scale.ops_per_client,
+                  scale.cluster_config(clients=clients, num_mns=8,
+                                       cache_bytes=scale.cache_bytes),
+                  key_space=scale.key_space,
+                  chime_overrides=scale.chime_overrides(),
+                  unlimited_cache_for=())
+        for index_name in indexes
+        for clients in scale.client_sweep
+    ]
+    return sweep_rows(specs)
 
 
 # --------------------------------------------------------------------------
@@ -264,20 +263,19 @@ def fig12_ycsb(scale: Optional[Scale] = None,
                client_sweep: Optional[Sequence[int]] = None) -> List[Dict]:
     scale = scale or current_scale()
     sweep = client_sweep or scale.client_sweep
-    rows: List[Dict] = []
-    for workload in workloads:
-        for index_name in indexes:
-            if workload == "LOAD" and index_name.startswith("rolex"):
-                continue  # the paper skips ROLEX for LOAD (§5.1 fn. 3)
-            for clients in sweep:
-                config = scale.cluster_config(clients=clients)
-                result = run_point(
-                    index_name, workload, scale.num_keys,
-                    scale.ops_per_client, config,
-                    key_space=scale.key_space,
-                    chime_overrides=scale.chime_overrides())
-                rows.append(result.summary())
-    return rows
+    specs = [
+        PointSpec(index_name, workload, scale.num_keys,
+                  scale.ops_per_client,
+                  scale.cluster_config(clients=clients),
+                  key_space=scale.key_space,
+                  chime_overrides=scale.chime_overrides())
+        for workload in workloads
+        for index_name in indexes
+        # the paper skips ROLEX for LOAD (§5.1 fn. 3)
+        if not (workload == "LOAD" and index_name.startswith("rolex"))
+        for clients in sweep
+    ]
+    return sweep_rows(specs)
 
 
 # --------------------------------------------------------------------------
@@ -289,19 +287,17 @@ def fig13_variable_kv(scale: Optional[Scale] = None,
                                                   "LOAD"),
                       value_size: int = 32) -> List[Dict]:
     scale = scale or current_scale()
-    rows: List[Dict] = []
-    for workload in workloads:
-        for index_name in INDIRECT_INDEXES:
-            if workload == "LOAD" and index_name.startswith("rolex"):
-                continue
-            config = scale.cluster_config()
-            result = run_point(index_name, workload, scale.num_keys,
-                               scale.ops_per_client, config,
-                               value_size=value_size,
-                               key_space=scale.key_space,
-                               chime_overrides=scale.chime_overrides())
-            rows.append(result.summary())
-    return rows
+    specs = [
+        PointSpec(index_name, workload, scale.num_keys,
+                  scale.ops_per_client, scale.cluster_config(),
+                  value_size=value_size,
+                  key_space=scale.key_space,
+                  chime_overrides=scale.chime_overrides())
+        for workload in workloads
+        for index_name in INDIRECT_INDEXES
+        if not (workload == "LOAD" and index_name.startswith("rolex"))
+    ]
+    return sweep_rows(specs)
 
 
 # --------------------------------------------------------------------------
@@ -367,24 +363,23 @@ def fig15b_learned_branch(scale: Optional[Scale] = None,
     it fetch one neighborhood per candidate leaf.
     """
     scale = scale or current_scale()
-    rows: List[Dict] = []
-    for workload in workloads:
-        for index_name in ("rolex", "chime-learned", "chime"):
-            config = scale.cluster_config()
-            result = run_point(index_name, workload, scale.num_keys,
-                               scale.ops_per_client, config,
-                               key_space=scale.key_space,
-                               chime_overrides=scale.chime_overrides()
-                               if index_name == "chime" else None)
-            rows.append(result.summary())
-    return rows
+    specs = [
+        PointSpec(index_name, workload, scale.num_keys,
+                  scale.ops_per_client, scale.cluster_config(),
+                  key_space=scale.key_space,
+                  chime_overrides=scale.chime_overrides()
+                  if index_name == "chime" else None)
+        for workload in workloads
+        for index_name in ("rolex", "chime-learned", "chime")
+    ]
+    return sweep_rows(specs)
 
 
 def fig15_factor_analysis(scale: Optional[Scale] = None,
                           workloads: Sequence[str] = ("C", "LOAD", "A"),
                           ) -> List[Dict]:
     scale = scale or current_scale()
-    rows: List[Dict] = []
+    specs = []
     for workload in workloads:
         for step_name, overrides in FACTOR_STEPS:
             if step_name == "sherman":
@@ -394,15 +389,12 @@ def fig15_factor_analysis(scale: Optional[Scale] = None,
                 chime_overrides = dict(scale.chime_overrides())
                 if overrides:
                     chime_overrides.update(overrides)
-            config = scale.cluster_config()
-            result = run_point(index_name, workload, scale.num_keys,
-                               scale.ops_per_client, config,
-                               key_space=scale.key_space,
-                               chime_overrides=chime_overrides)
-            row = result.summary()
-            row["step"] = step_name
-            rows.append(row)
-    return rows
+            specs.append(PointSpec(
+                index_name, workload, scale.num_keys, scale.ops_per_client,
+                scale.cluster_config(), key_space=scale.key_space,
+                chime_overrides=chime_overrides,
+                extra=(("step", step_name),)))
+    return sweep_rows(specs)
 
 
 # --------------------------------------------------------------------------
@@ -437,20 +429,17 @@ def fig17_speculative(scale: Optional[Scale] = None,
                       ) -> List[Dict]:
     scale = scale or current_scale()
     sweep = client_sweep or scale.client_sweep
-    rows: List[Dict] = []
-    for speculative in (False, True):
-        for clients in sweep:
-            overrides = dict(scale.chime_overrides())
-            overrides["speculative_read"] = speculative
-            config = scale.cluster_config(clients=clients)
-            result = run_point("chime", "C", scale.num_keys,
-                               scale.ops_per_client, config,
-                               key_space=scale.key_space,
-                               chime_overrides=overrides)
-            row = result.summary()
-            row["speculative_read"] = speculative
-            rows.append(row)
-    return rows
+    specs = [
+        PointSpec("chime", "C", scale.num_keys, scale.ops_per_client,
+                  scale.cluster_config(clients=clients),
+                  key_space=scale.key_space,
+                  chime_overrides=dict(scale.chime_overrides(),
+                                       speculative_read=speculative),
+                  extra=(("speculative_read", speculative),))
+        for speculative in (False, True)
+        for clients in sweep
+    ]
+    return sweep_rows(specs)
 
 
 # --------------------------------------------------------------------------
@@ -462,18 +451,16 @@ def fig18a_skewness(scale: Optional[Scale] = None,
                     indexes: Sequence[str] = ("chime", "sherman", "rolex",
                                               "smart")) -> List[Dict]:
     scale = scale or current_scale()
-    rows: List[Dict] = []
-    for index_name in indexes:
-        for theta in thetas:
-            config = scale.cluster_config()
-            result = run_point(index_name, "A", scale.num_keys,
-                               scale.ops_per_client, config, theta=theta,
-                               key_space=scale.key_space,
-                               chime_overrides=scale.chime_overrides())
-            row = result.summary()
-            row["theta"] = theta
-            rows.append(row)
-    return rows
+    specs = [
+        PointSpec(index_name, "A", scale.num_keys, scale.ops_per_client,
+                  scale.cluster_config(), theta=theta,
+                  key_space=scale.key_space,
+                  chime_overrides=scale.chime_overrides(),
+                  extra=(("theta", theta),))
+        for index_name in indexes
+        for theta in thetas
+    ]
+    return sweep_rows(specs)
 
 
 def fig18b_cache_size(scale: Optional[Scale] = None,
@@ -481,20 +468,18 @@ def fig18b_cache_size(scale: Optional[Scale] = None,
                       indexes: Sequence[str] = ("chime", "sherman", "rolex",
                                                 "smart")) -> List[Dict]:
     scale = scale or current_scale()
-    rows: List[Dict] = []
-    for index_name in indexes:
-        for factor in factors:
-            budget = int(scale.cache_bytes * factor)
-            config = scale.cluster_config(cache_bytes=budget)
-            result = run_point(index_name, "C", scale.num_keys,
-                               scale.ops_per_client, config,
-                               key_space=scale.key_space,
-                               chime_overrides=scale.chime_overrides(),
-                               unlimited_cache_for=())
-            row = result.summary()
-            row["cache_budget"] = budget
-            rows.append(row)
-    return rows
+    specs = [
+        PointSpec(index_name, "C", scale.num_keys, scale.ops_per_client,
+                  scale.cluster_config(
+                      cache_bytes=int(scale.cache_bytes * factor)),
+                  key_space=scale.key_space,
+                  chime_overrides=scale.chime_overrides(),
+                  unlimited_cache_for=(),
+                  extra=(("cache_budget", int(scale.cache_bytes * factor)),))
+        for index_name in indexes
+        for factor in factors
+    ]
+    return sweep_rows(specs)
 
 
 def fig18c_inline_value_size(scale: Optional[Scale] = None,
@@ -503,74 +488,63 @@ def fig18c_inline_value_size(scale: Optional[Scale] = None,
                                                        "rolex", "smart"),
                              ) -> List[Dict]:
     scale = scale or current_scale()
-    rows: List[Dict] = []
-    for index_name in indexes:
-        for size in sizes:
-            config = scale.cluster_config()
-            result = run_point(index_name, "C", scale.num_keys,
-                               scale.ops_per_client, config,
-                               value_size=size,
-                               key_space=scale.key_space,
-                               chime_overrides=scale.chime_overrides())
-            row = result.summary()
-            row["value_size"] = size
-            rows.append(row)
-    return rows
+    specs = [
+        PointSpec(index_name, "C", scale.num_keys, scale.ops_per_client,
+                  scale.cluster_config(), value_size=size,
+                  key_space=scale.key_space,
+                  chime_overrides=scale.chime_overrides(),
+                  extra=(("value_size", size),))
+        for index_name in indexes
+        for size in sizes
+    ]
+    return sweep_rows(specs)
 
 
 def fig18d_indirect_value_size(scale: Optional[Scale] = None,
                                sizes: Sequence[int] = (8, 64, 256, 512),
                                ) -> List[Dict]:
     scale = scale or current_scale()
-    rows: List[Dict] = []
-    for index_name in INDIRECT_INDEXES:
-        for size in sizes:
-            config = scale.cluster_config()
-            result = run_point(index_name, "C", scale.num_keys,
-                               scale.ops_per_client, config,
-                               value_size=size,
-                               key_space=scale.key_space,
-                               chime_overrides=scale.chime_overrides())
-            row = result.summary()
-            row["value_size"] = size
-            rows.append(row)
-    return rows
+    specs = [
+        PointSpec(index_name, "C", scale.num_keys, scale.ops_per_client,
+                  scale.cluster_config(), value_size=size,
+                  key_space=scale.key_space,
+                  chime_overrides=scale.chime_overrides(),
+                  extra=(("value_size", size),))
+        for index_name in INDIRECT_INDEXES
+        for size in sizes
+    ]
+    return sweep_rows(specs)
 
 
 def fig18e_span_size(scale: Optional[Scale] = None,
                      spans: Sequence[int] = (16, 64, 128, 256),
                      ) -> List[Dict]:
     scale = scale or current_scale()
-    rows: List[Dict] = []
-    for index_name in ("chime", "sherman", "rolex"):
-        for span in spans:
-            config = scale.cluster_config()
-            result = run_point(index_name, "C", scale.num_keys,
-                               scale.ops_per_client, config, span=span,
-                               key_space=scale.key_space,
-                               chime_overrides=scale.chime_overrides())
-            row = result.summary()
-            row["span"] = span
-            rows.append(row)
-    return rows
+    specs = [
+        PointSpec(index_name, "C", scale.num_keys, scale.ops_per_client,
+                  scale.cluster_config(), span=span,
+                  key_space=scale.key_space,
+                  chime_overrides=scale.chime_overrides(),
+                  extra=(("span", span),))
+        for index_name in ("chime", "sherman", "rolex")
+        for span in spans
+    ]
+    return sweep_rows(specs)
 
 
 def fig18f_neighborhood_size(scale: Optional[Scale] = None,
                              neighborhoods: Sequence[int] = (2, 4, 8, 16),
                              ) -> List[Dict]:
     scale = scale or current_scale()
-    rows: List[Dict] = []
-    for neighborhood in neighborhoods:
-        config = scale.cluster_config()
-        result = run_point("chime", "C", scale.num_keys,
-                           scale.ops_per_client, config,
-                           neighborhood=neighborhood,
-                           key_space=scale.key_space,
-                           chime_overrides=scale.chime_overrides())
-        row = result.summary()
-        row["neighborhood"] = neighborhood
-        rows.append(row)
-    return rows
+    specs = [
+        PointSpec("chime", "C", scale.num_keys, scale.ops_per_client,
+                  scale.cluster_config(), neighborhood=neighborhood,
+                  key_space=scale.key_space,
+                  chime_overrides=scale.chime_overrides(),
+                  extra=(("neighborhood", neighborhood),))
+        for neighborhood in neighborhoods
+    ]
+    return sweep_rows(specs)
 
 
 # --------------------------------------------------------------------------

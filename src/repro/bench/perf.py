@@ -1,0 +1,194 @@
+"""The pinned simulator performance suite (``python -m repro perf``).
+
+Tracks *simulator* performance — wall-clock cost of running the model,
+not the simulated throughput the figures report.  The suite is pinned:
+a fixed :data:`PERF_SCALE`, one YCSB-C point per index family, one
+chaos campaign, and a fig12-style mini sweep, all with fixed seeds.
+Because the simulation is deterministic, every point's **event count**
+is an exact fingerprint of simulator behavior; events per wall second
+measures how fast the host chews through them.
+
+``--check`` compares a fresh run against the committed baseline
+(:data:`BENCH_FILE`): event counts must match exactly (a drift means
+the optimization changed behavior, not just speed) and events/sec must
+not regress below ``baseline * (1 - tolerance)``.  The default
+tolerance is wide (0.5) because shared CI runners are noisy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.parallel import PointSpec, resolve_jobs, run_sweep
+from repro.bench.runner import build_index, load_index, run_workload
+from repro.bench.scale import Scale
+from repro.cluster.cluster import Cluster
+from repro.workloads.ycsb import WORKLOADS, WorkloadContext, dataset
+
+#: Name of the baseline file, committed at the repository root.
+BENCH_FILE = "BENCH_perf.json"
+
+#: The pinned operating point.  Heavier NIC scaling than the ``quick``
+#: preset so each point simulates enough events to time reliably.
+PERF_SCALE = Scale(name="perf", num_keys=8000, ops_per_client=200,
+                   client_sweep=[8, 24], clients=16, nic_scale=32.0,
+                   seed=1234)
+
+#: One representative per index family (B+ tree hybrid, B+ tree,
+#: learned, radix).
+PERF_INDEXES = ("chime", "sherman", "rolex", "smart")
+
+#: Mini fig12 sweep used for the wall-clock (and parallel speedup)
+#: measurement: 2 workloads x 4 indexes x 2 client counts = 16 points.
+SWEEP_WORKLOADS = ("C", "A")
+
+
+def _perf_point(index_name: str) -> Dict:
+    """One YCSB-C point with engine-level event accounting.
+
+    Mirrors ``run_point`` but keeps the cluster visible so the event
+    counter can be read without polluting ``RunResult.notes`` (which
+    would change every experiment's summary columns).
+    """
+    scale = PERF_SCALE
+    config = scale.cluster_config(clients=scale.clients)
+    cluster = Cluster(config)
+    index = build_index(index_name, cluster,
+                        chime_overrides=scale.chime_overrides()
+                        if index_name.startswith("chime") else None)
+    pairs = dataset(scale.num_keys, key_space=scale.key_space,
+                    seed=config.seed)
+    spec = WORKLOADS["C"]
+    context = WorkloadContext(spec, [k for k, _ in pairs],
+                              seed=config.seed, theta=0.99)
+    context.expected_insert_budget = 64
+    load_index(index, pairs, "C", context)
+    events_before = cluster.engine.events_processed
+    started = time.perf_counter()
+    result = run_workload(cluster, index, "C", scale.ops_per_client,
+                          context)
+    wall = time.perf_counter() - started
+    events = cluster.engine.events_processed - events_before
+    return {
+        "wall_s": round(wall, 3),
+        "events": events,
+        "events_per_sec": round(events / wall, 1),
+        "ops": result.ops_completed,
+        "ops_per_sec": round(result.ops_completed / wall, 1),
+        "sim_throughput_mops": round(result.throughput_mops, 4),
+    }
+
+
+def _chaos_point() -> Dict:
+    """The default chaos campaign, timed."""
+    from repro.faults import ChaosConfig, run_chaos
+    started = time.perf_counter()
+    result = run_chaos(ChaosConfig(seed=PERF_SCALE.seed))
+    wall = time.perf_counter() - started
+    ok = result.invariants.ok and not result.errors
+    return {"wall_s": round(wall, 3), "ok": bool(ok)}
+
+
+def _sweep_specs() -> List[PointSpec]:
+    scale = PERF_SCALE
+    return [
+        PointSpec(index_name, workload, scale.num_keys,
+                  scale.ops_per_client,
+                  scale.cluster_config(clients=clients),
+                  key_space=scale.key_space,
+                  chime_overrides=scale.chime_overrides())
+        for workload in SWEEP_WORKLOADS
+        for index_name in PERF_INDEXES
+        for clients in scale.client_sweep
+    ]
+
+
+def run_suite(jobs: Optional[int] = None) -> Dict:
+    """Run the pinned suite; returns the full report dict."""
+    workers = resolve_jobs(jobs)
+    report: Dict = {
+        "suite": "perf-v1",
+        "command": "python -m repro perf",
+        "cpu_count": os.cpu_count(),
+        "jobs": workers,
+        "scale": {"num_keys": PERF_SCALE.num_keys,
+                  "ops_per_client": PERF_SCALE.ops_per_client,
+                  "clients": PERF_SCALE.clients,
+                  "nic_scale": PERF_SCALE.nic_scale,
+                  "seed": PERF_SCALE.seed},
+        "points": {},
+    }
+    total_events = 0
+    total_wall = 0.0
+    for index_name in PERF_INDEXES:
+        point = _perf_point(index_name)
+        report["points"][index_name] = point
+        total_events += point["events"]
+        total_wall += point["wall_s"]
+    report["aggregate_events_per_sec"] = round(total_events / total_wall, 1)
+    report["chaos"] = _chaos_point()
+
+    specs = _sweep_specs()
+    started = time.perf_counter()
+    serial_results = run_sweep(specs, jobs=1)
+    serial_wall = time.perf_counter() - started
+    sweep: Dict = {"points": len(specs),
+                   "serial_wall_s": round(serial_wall, 2)}
+    if workers > 1:
+        started = time.perf_counter()
+        parallel_results = run_sweep(specs, jobs=workers)
+        parallel_wall = time.perf_counter() - started
+        identical = all(
+            a.summary() == b.summary()
+            for a, b in zip(serial_results, parallel_results))
+        sweep.update(jobs=workers,
+                     parallel_wall_s=round(parallel_wall, 2),
+                     speedup=round(serial_wall / parallel_wall, 2),
+                     identical_results=identical)
+    report["sweep_fig12_mini"] = sweep
+    return report
+
+
+def check_report(report: Dict, baseline: Dict,
+                 tolerance: float) -> Tuple[bool, List[str]]:
+    """Compare a fresh report against the committed baseline."""
+    problems: List[str] = []
+    base_points = baseline.get("points", {})
+    for name, point in report["points"].items():
+        base = base_points.get(name)
+        if base is None:
+            problems.append(f"{name}: no baseline entry")
+            continue
+        if point["events"] != base["events"]:
+            problems.append(
+                f"{name}: event count drifted "
+                f"({base['events']} -> {point['events']}) — simulator "
+                f"behavior changed, not just its speed")
+        floor = base["events_per_sec"] * (1.0 - tolerance)
+        if point["events_per_sec"] < floor:
+            problems.append(
+                f"{name}: events/sec regressed beyond tolerance "
+                f"({base['events_per_sec']:.0f} -> "
+                f"{point['events_per_sec']:.0f}, floor {floor:.0f})")
+    if not report["chaos"]["ok"]:
+        problems.append("chaos campaign failed its invariants")
+    if report["sweep_fig12_mini"].get("identical_results") is False:
+        problems.append("parallel sweep results diverged from serial")
+    return not problems, problems
+
+
+def load_baseline(path: str) -> Optional[Dict]:
+    try:
+        with open(path) as source:
+            return json.load(source)
+    except (OSError, ValueError):
+        return None
+
+
+def write_report(report: Dict, path: str) -> None:
+    with open(path, "w") as sink:
+        json.dump(report, sink, indent=1, sort_keys=True)
+        sink.write("\n")

@@ -9,6 +9,9 @@ Usage::
     python -m repro run table1 --trace table1.json   # Chrome trace
     python -m repro run fig12 --format csv --seed 7
     python -m repro run all --scale quick
+    python -m repro run fig12 --jobs 4                # parallel sweep
+    python -m repro perf                              # pinned perf suite
+    python -m repro perf --check --tolerance 0.5
     python -m repro trace --index chime --workload C --out trace.json
     python -m repro chaos --crash cn0/c0:lock --seed 7
     python -m repro chaos --no-leases --crash cn0/c0:lock
@@ -30,6 +33,7 @@ import csv
 import dataclasses
 import io
 import json
+import os
 import sys
 import time
 from typing import Dict, List, Optional, Sequence
@@ -109,6 +113,14 @@ def _cmd_run(args) -> int:
               f"try 'python -m repro list'", file=sys.stderr)
         return 2
     scale = _apply_seed(PRESETS[args.scale], args.seed)
+    if args.jobs is not None:
+        if args.jobs < 1:
+            print("--jobs must be >= 1", file=sys.stderr)
+            return 2
+        # Sweeps read the worker count from the environment (via
+        # repro.bench.parallel.resolve_jobs), so one flag covers every
+        # figure the selected run touches.
+        os.environ["REPRO_JOBS"] = str(args.jobs)
 
     recorder = None
     if args.trace:
@@ -178,6 +190,54 @@ def _cmd_trace(args) -> int:
             metadata={"index": args.index, "workload": args.workload,
                       "scale": scale.name, "seed": scale.seed})
         print(f"\n[trace: {len(recorder.spans)} spans -> {args.out}]")
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    from repro.bench import perf
+
+    report = perf.run_suite(jobs=args.jobs)
+    rows = []
+    for name, point in report["points"].items():
+        rows.append({"index": name, "wall_s": point["wall_s"],
+                     "events": point["events"],
+                     "events_per_sec": point["events_per_sec"],
+                     "ops_per_sec": point["ops_per_sec"]})
+    print(format_table(rows, title="repro perf (pinned suite)"))
+    sweep = report["sweep_fig12_mini"]
+    line = (f"[sweep: {sweep['points']} points, "
+            f"serial {sweep['serial_wall_s']}s")
+    if "parallel_wall_s" in sweep:
+        line += (f", parallel({sweep['jobs']} jobs) "
+                 f"{sweep['parallel_wall_s']}s, {sweep['speedup']}x")
+    print(line + f"; chaos {report['chaos']['wall_s']}s "
+                 f"{'OK' if report['chaos']['ok'] else 'FAILED'}]")
+
+    if args.check:
+        baseline = perf.load_baseline(args.baseline)
+        if baseline is None:
+            print(f"no readable baseline at {args.baseline}",
+                  file=sys.stderr)
+            return 2
+        ok, problems = perf.check_report(report, baseline,
+                                         args.tolerance)
+        for problem in problems:
+            print(f"perf check: {problem}", file=sys.stderr)
+        print(f"[perf check vs {args.baseline}: "
+              f"{'OK' if ok else 'FAILED'} "
+              f"(tolerance {args.tolerance})]")
+        if args.out:
+            perf.write_report(report, args.out)
+            print(f"[wrote fresh report to {args.out}]")
+        return 0 if ok else 1
+
+    # Preserve the recorded pre-optimization reference block, if the
+    # committed baseline carries one.
+    existing = perf.load_baseline(args.baseline)
+    if existing and "reference_before" in existing:
+        report["reference_before"] = existing["reference_before"]
+    perf.write_report(report, args.baseline)
+    print(f"[wrote {args.baseline}]")
     return 0
 
 
@@ -281,6 +341,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_parser.add_argument("--trace", default=None, metavar="PATH",
                             help="record per-op phase spans and write a "
                                  "Chrome trace-event JSON file")
+    run_parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                            help="worker processes for sweep points "
+                                 "(default: $REPRO_JOBS or cores-1; "
+                                 "1 = serial; forced serial with --trace)")
 
     trace_parser = sub.add_parser(
         "trace", help="trace one workload point (spans + metrics)")
@@ -299,6 +363,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                               help="override the preset's RNG seed")
     trace_parser.add_argument("--out", default=None, metavar="PATH",
                               help="write Chrome trace-event JSON here")
+    perf_parser = sub.add_parser(
+        "perf", help="run the pinned simulator performance suite")
+    perf_parser.add_argument("--check", action="store_true",
+                             help="compare against the committed baseline "
+                                  "instead of rewriting it")
+    perf_parser.add_argument("--tolerance", type=float, default=0.5,
+                             help="allowed relative events/sec regression "
+                                  "for --check (default: 0.5)")
+    perf_parser.add_argument("--baseline", default="BENCH_perf.json",
+                             metavar="PATH",
+                             help="baseline file (default: BENCH_perf.json)")
+    perf_parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                             help="worker processes for the sweep stage "
+                                  "(default: $REPRO_JOBS or cores-1)")
+    perf_parser.add_argument("--out", default=None, metavar="PATH",
+                             help="with --check: also write the fresh "
+                                  "report here (for CI artifacts)")
+
     chaos_parser = sub.add_parser(
         "chaos", help="run a seeded fault-injection campaign against CHIME")
     chaos_parser.add_argument("--seed", type=int, default=7,
@@ -338,6 +420,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "perf":
+        return _cmd_perf(args)
     return _cmd_run(args)
 
 

@@ -62,9 +62,17 @@ class IndexCache:
 
         A node larger than the whole budget is simply not cached.
         """
-        if addr in self._entries:
-            self.bytes_used -= self._entries.pop(addr)[1]
+        displaced = self._entries.pop(addr, None)
+        if displaced is not None:
+            self.bytes_used -= displaced[1]
         if self.capacity_bytes is not None and nbytes > self.capacity_bytes:
+            # The new image is uncacheable, so the displaced entry is
+            # gone for good: account for it as an eviction rather than
+            # letting it vanish from the books.
+            if displaced is not None:
+                self.evictions += 1
+                if BUS.active:
+                    BUS.emit("cache.evict", addr=addr, bytes=displaced[1])
             return
         if self.capacity_bytes is not None:
             while self._entries and self.bytes_used + nbytes > self.capacity_bytes:

@@ -169,32 +169,24 @@ class InternalLayout:
     span: int
     key_size: int = 8
 
-    @property
-    def header_size(self) -> int:
-        return 1 + 1 + 1 + 2 + 2 * self.key_size + 8
-
-    @property
-    def entry_size(self) -> int:
-        return 1 + self.key_size + 8
-
-    @property
-    def logical_size(self) -> int:
-        return self.header_size + self.span * self.entry_size
-
-    @property
-    def raw_size(self) -> int:
-        return versions.raw_size(self.logical_size)
-
-    @property
-    def total_size(self) -> int:
-        """Raw image + the trailing lock cache line."""
-        padded = -(-self.raw_size // CACHE_LINE) * CACHE_LINE
-        return padded + CACHE_LINE
-
-    @property
-    def lock_offset(self) -> int:
-        """Byte offset of the lock word from the node base (raw)."""
-        return self.total_size - CACHE_LINE
+    # Sizes are precomputed once in ``__post_init__`` — layouts are
+    # immutable and these land on every simulated byte access.
+    def __post_init__(self) -> None:
+        set_attr = object.__setattr__
+        header_size = 1 + 1 + 1 + 2 + 2 * self.key_size + 8
+        entry_size = 1 + self.key_size + 8
+        logical_size = header_size + self.span * entry_size
+        raw = versions.raw_size(logical_size)
+        padded = -(-raw // CACHE_LINE) * CACHE_LINE
+        set_attr(self, "header_size", header_size)
+        set_attr(self, "entry_size", entry_size)
+        set_attr(self, "logical_size", logical_size)
+        set_attr(self, "raw_size", raw)
+        set_attr(self, "total_size", padded + CACHE_LINE)
+        set_attr(self, "lock_offset", padded)
+        set_attr(self, "off_fence_low", 5)
+        set_attr(self, "off_fence_high", 5 + self.key_size)
+        set_attr(self, "off_sibling", 5 + 2 * self.key_size)
 
     def entry_offset(self, index: int) -> int:
         if not 0 <= index < self.span:
@@ -206,18 +198,6 @@ class InternalLayout:
     OFF_LEVEL = 1
     OFF_VALID = 2
     OFF_COUNT = 3
-
-    @property
-    def off_fence_low(self) -> int:
-        return 5
-
-    @property
-    def off_fence_high(self) -> int:
-        return 5 + self.key_size
-
-    @property
-    def off_sibling(self) -> int:
-        return 5 + 2 * self.key_size
 
 
 @dataclass(frozen=True)
@@ -237,53 +217,45 @@ class LeafLayout:
     replicated: bool = True
     fence_keys: bool = False
 
+    # Sizes and per-entry offsets are precomputed once in
+    # ``__post_init__`` — layouts are immutable and ``entry_offset`` is
+    # on the path of every simulated entry access.
     def __post_init__(self) -> None:
         if self.replicated and self.span % self.neighborhood:
             raise LayoutError(
                 f"span {self.span} must be a multiple of neighborhood "
                 f"{self.neighborhood} for metadata replication")
-
-    # -- sizes ----------------------------------------------------------------
-
-    @property
-    def replica_size(self) -> int:
-        base = 1 + 8 + 1  # valid + sibling + spare
+        set_attr = object.__setattr__
+        replica_size = 1 + 8 + 1  # valid + sibling + spare
         if self.fence_keys:
-            base += 2 * self.key_size
-        return base
-
-    @property
-    def entry_size(self) -> int:
-        return 1 + 2 + self.key_size + self.value_size  # version+bitmap+k+v
-
-    @property
-    def num_blocks(self) -> int:
-        if not self.replicated:
-            return 1
-        return self.span // self.neighborhood
-
-    @property
-    def block_size(self) -> int:
-        return self.replica_size + self.neighborhood * self.entry_size
-
-    @property
-    def logical_size(self) -> int:
+            replica_size += 2 * self.key_size
+        entry_size = 1 + 2 + self.key_size + self.value_size
+        num_blocks = self.span // self.neighborhood if self.replicated else 1
+        block_size = replica_size + self.neighborhood * entry_size
         if self.replicated:
-            return self.num_blocks * self.block_size
-        return self.replica_size + self.span * self.entry_size
-
-    @property
-    def raw_size(self) -> int:
-        return versions.raw_size(self.logical_size)
-
-    @property
-    def total_size(self) -> int:
-        padded = -(-self.raw_size // CACHE_LINE) * CACHE_LINE
-        return padded + CACHE_LINE
-
-    @property
-    def lock_offset(self) -> int:
-        return self.total_size - CACHE_LINE
+            logical_size = num_blocks * block_size
+        else:
+            logical_size = replica_size + self.span * entry_size
+        raw = versions.raw_size(logical_size)
+        padded = -(-raw // CACHE_LINE) * CACHE_LINE
+        set_attr(self, "replica_size", replica_size)
+        set_attr(self, "entry_size", entry_size)
+        set_attr(self, "num_blocks", num_blocks)
+        set_attr(self, "block_size", block_size)
+        set_attr(self, "logical_size", logical_size)
+        set_attr(self, "raw_size", raw)
+        set_attr(self, "total_size", padded + CACHE_LINE)
+        set_attr(self, "lock_offset", padded)
+        set_attr(self, "entry_off_value", 3 + self.key_size)
+        if self.replicated:
+            offsets = tuple(
+                (index // self.neighborhood) * block_size + replica_size
+                + (index % self.neighborhood) * entry_size
+                for index in range(self.span))
+        else:
+            offsets = tuple(replica_size + index * entry_size
+                            for index in range(self.span))
+        set_attr(self, "_entry_offsets", offsets)
 
     # -- positions --------------------------------------------------------------
 
@@ -298,22 +270,14 @@ class LeafLayout:
         return block * self.block_size
 
     def entry_offset(self, index: int) -> int:
-        if not 0 <= index < self.span:
-            raise LayoutError(f"leaf entry index {index} out of range")
-        if self.replicated:
-            block, within = divmod(index, self.neighborhood)
-            return block * self.block_size + self.replica_size \
-                + within * self.entry_size
-        return self.replica_size + index * self.entry_size
+        if 0 <= index < self.span:
+            return self._entry_offsets[index]
+        raise LayoutError(f"leaf entry index {index} out of range")
 
     # Entry field offsets (relative to entry start).
     ENTRY_OFF_VERSION = 0
     ENTRY_OFF_BITMAP = 1
     ENTRY_OFF_KEY = 3
-
-    @property
-    def entry_off_value(self) -> int:
-        return 3 + self.key_size
 
     # Replica field offsets (relative to replica start).
     REPLICA_OFF_VALID = 0

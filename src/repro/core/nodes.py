@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.node_layout import InternalLayout, LeafLayout
+from repro.errors import LayoutError
 from repro.layout import (
     StripedSpan,
     decode_key,
@@ -173,7 +174,7 @@ class InternalNodeView:
             nv=unpack_version(header_byte)[0])
 
 
-@dataclass
+@dataclass(slots=True)
 class LeafEntry:
     """One decoded leaf entry (key 0 means empty, keys are >= 1)."""
 
@@ -265,8 +266,13 @@ class LeafNodeView:
 
     def entry(self, index: int) -> LeafEntry:
         layout = self.layout
-        off = layout.entry_offset(index)
-        data = self.span.read_logical(off, layout.entry_size)
+        data = self.span.read_logical(layout.entry_offset(index),
+                                      layout.entry_size)
+        return self._parse_entry(index, data, layout)
+
+    @staticmethod
+    def _parse_entry(index: int, data: bytes,
+                     layout: LeafLayout) -> LeafEntry:
         return LeafEntry(
             index=index,
             version_byte=data[0],
@@ -318,37 +324,70 @@ class LeafNodeView:
         """All EV nibbles within one entry's span (for consistency checks)."""
         layout = self.layout
         off = layout.entry_offset(index)
-        byte = self.span.read_logical(off, 1)[0]
-        values = [unpack_version(byte)[1]]
+        values = [self.span.payload_byte(off) & 0xF]
         values.extend(self.span.entry_ev_nibbles(off, layout.entry_size))
         return values
 
     def entry_nv(self, index: int) -> int:
         off = self.layout.entry_offset(index)
-        return unpack_version(self.span.read_logical(off, 1)[0])[0]
+        return (self.span.payload_byte(off) >> 4) & 0xF
 
     # -- whole-node helpers -------------------------------------------------------------
 
+    def _full_payload(self) -> Optional[bytes]:
+        """One logical read of the whole node, or None when the view is a
+        segmented (wrap-around) fetch with no single contiguous raw span;
+        callers then fall back to routed per-entry reads."""
+        try:
+            return self.span.read_logical(0, self.layout.logical_size)
+        except LayoutError:
+            return None
+
     def occupancy(self) -> List[bool]:
         """Per-entry occupancy of a full-node image."""
-        return [self.entry(i).occupied for i in range(self.layout.span)]
+        layout = self.layout
+        payload = self._full_payload()
+        if payload is None:
+            return [self.entry(i).occupied for i in range(layout.span)]
+        offsets = layout._entry_offsets
+        return [decode_key(payload, off + 3) != 0 for off in offsets]
 
     def items(self) -> List[Tuple[int, int, int]]:
         """(position, key, value) of occupied entries in a full image."""
+        layout = self.layout
+        payload = self._full_payload()
         out = []
-        for index in range(self.layout.span):
-            entry = self.entry(index)
-            if entry.occupied:
-                out.append((index, entry.key, entry.value))
+        if payload is None:
+            for index in range(layout.span):
+                entry = self.entry(index)
+                if entry.occupied:
+                    out.append((index, entry.key, entry.value))
+            return out
+        value_off = 3 + layout.key_size
+        value_size = layout.value_size
+        for index, off in enumerate(layout._entry_offsets):
+            key = decode_key(payload, off + 3)
+            if key:
+                out.append((index, key,
+                            decode_value(payload, off + value_off,
+                                         size=value_size)))
         return out
 
     def argmax_key(self) -> int:
         """Entry index holding the maximum key (0 when node is empty)."""
+        layout = self.layout
+        payload = self._full_payload()
         best_index, best_key = 0, -1
-        for index in range(self.layout.span):
-            entry = self.entry(index)
-            if entry.occupied and entry.key > best_key:
-                best_index, best_key = index, entry.key
+        if payload is None:
+            for index in range(layout.span):
+                entry = self.entry(index)
+                if entry.occupied and entry.key > best_key:
+                    best_index, best_key = index, entry.key
+            return best_index
+        for index, off in enumerate(layout._entry_offsets):
+            key = decode_key(payload, off + 3)
+            if key and key > best_key:
+                best_index, best_key = index, key
         return best_index
 
     def set_all_nv(self, nv: int) -> None:

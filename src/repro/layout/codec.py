@@ -41,6 +41,8 @@ def decode_key(data: bytes, offset: int = 0) -> int:
 
 def encode_value(value: int, size: int = VALUE_SIZE) -> bytes:
     """Fixed-width little-endian value encoding, zero-padded to *size*."""
+    if size == 8:  # the default width; skip the padding concat
+        return value.to_bytes(8, "little")
     if size < 1:
         raise LayoutError(f"value size must be >= 1: {size}")
     raw = value.to_bytes(8, "little")
@@ -52,8 +54,9 @@ def encode_value(value: int, size: int = VALUE_SIZE) -> bytes:
 
 
 def decode_value(data: bytes, offset: int = 0, size: int = VALUE_SIZE) -> int:
-    width = min(size, 8)
-    return int.from_bytes(data[offset:offset + width], "little")
+    if size >= 8:  # full-width word: unpack in place, no slice copy
+        return _U64.unpack_from(data, offset)[0]
+    return int.from_bytes(data[offset:offset + size], "little")
 
 
 def encode_u16(value: int) -> bytes:

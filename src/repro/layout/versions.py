@@ -137,32 +137,83 @@ class StripedSpan:
 
     def read_logical(self, logical_off: int, length: int) -> bytes:
         """Extract *length* payload bytes starting at *logical_off*."""
-        out = bytearray()
-        remaining = length
-        cursor = logical_off
+        data = self.data
+        size = len(data)
+        line, within = divmod(logical_off, PAYLOAD_PER_LINE)
+        start = line * LINE + 1 + within - self.base
+        if start < 0 or start >= size:
+            raise LayoutError(
+                f"raw offset {start + self.base} outside span "
+                f"[{self.base}, {self.base + size})")
+        take = PAYLOAD_PER_LINE - within
+        if length <= take:
+            # Fast path: the whole read lives inside one cache line.
+            if start + length > size:
+                raise LayoutError("logical read crossed the span boundary")
+            return bytes(data[start:start + length])
+        parts = [data[start:start + take]]
+        remaining = length - take
+        start += take + 1  # skip the next line's version byte
         while remaining > 0:
-            take = min(remaining, PAYLOAD_PER_LINE - cursor % PAYLOAD_PER_LINE)
-            start = self._raw_index(raw_of(cursor))
-            out += self.data[start:start + take]
-            cursor += take
+            if start >= size:
+                raise LayoutError(
+                    f"raw offset {start + self.base} outside span "
+                    f"[{self.base}, {self.base + size})")
+            take = PAYLOAD_PER_LINE if remaining > PAYLOAD_PER_LINE \
+                else remaining
+            parts.append(data[start:start + take])
             remaining -= take
+            start += LINE
+        out = b"".join(parts)
         if len(out) != length:
             raise LayoutError("logical read crossed the span boundary")
-        return bytes(out)
+        return out
+
+    def payload_byte(self, logical_off: int) -> int:
+        """The single payload byte at *logical_off* (no bytes allocation)."""
+        line, within = divmod(logical_off, PAYLOAD_PER_LINE)
+        index = line * LINE + 1 + within - self.base
+        if index < 0 or index >= len(self.data):
+            raise LayoutError(
+                f"raw offset {index + self.base} outside span "
+                f"[{self.base}, {self.base + len(self.data)})")
+        return self.data[index]
 
     def write_logical(self, logical_off: int, payload: bytes) -> None:
         """Store *payload* at *logical_off*, leaving version bytes alone."""
-        cursor = logical_off
-        written = 0
-        while written < len(payload):
-            take = min(len(payload) - written,
-                       PAYLOAD_PER_LINE - cursor % PAYLOAD_PER_LINE)
-            start = self._raw_index(raw_of(cursor))
-            if start + take > len(self.data):
+        data = self.data
+        size = len(data)
+        total = len(payload)
+        line, within = divmod(logical_off, PAYLOAD_PER_LINE)
+        start = line * LINE + 1 + within - self.base
+        if start < 0 or start >= size:
+            raise LayoutError(
+                f"raw offset {start + self.base} outside span "
+                f"[{self.base}, {self.base + size})")
+        take = PAYLOAD_PER_LINE - within
+        if total <= take:
+            # Fast path: the whole write lives inside one cache line.
+            if start + total > size:
                 raise LayoutError("logical write crossed the span boundary")
-            self.data[start:start + take] = payload[written:written + take]
-            cursor += take
+            data[start:start + total] = payload
+            return
+        if start + take > size:
+            raise LayoutError("logical write crossed the span boundary")
+        data[start:start + take] = payload[:take]
+        written = take
+        start += take + 1  # skip the next line's version byte
+        while written < total:
+            if start >= size:
+                raise LayoutError(
+                    f"raw offset {start + self.base} outside span "
+                    f"[{self.base}, {self.base + size})")
+            take = PAYLOAD_PER_LINE if total - written > PAYLOAD_PER_LINE \
+                else total - written
+            if start + take > size:
+                raise LayoutError("logical write crossed the span boundary")
+            data[start:start + take] = payload[written:written + take]
             written += take
+            start += LINE
 
     # -- version access --------------------------------------------------------
 
@@ -219,15 +270,25 @@ class StripedSpan:
 
     def nv_nibbles(self) -> List[int]:
         """NV nibble of every line version byte in the span."""
-        return [unpack_version(byte)[0] for _pos, byte in self.line_versions()]
+        data = self.data
+        base = self.base
+        first = ((base + LINE - 1) // LINE) * LINE
+        return [(data[pos - base] >> 4) & _NIBBLE
+                for pos in range(first, base + len(data), LINE)]
 
     def entry_ev_nibbles(self, logical_off: int, logical_len: int) -> List[int]:
         """EV nibbles of the line version bytes inside one entry's span."""
         span_off, span_len = raw_span(logical_off, logical_len)
-        out = []
-        for pos in self._version_positions_in(span_off, span_len):
-            out.append(unpack_version(self.data[self._raw_index(pos)])[1])
-        return out
+        data = self.data
+        base = self.base
+        first = ((span_off + LINE - 1) // LINE) * LINE
+        end = span_off + span_len
+        if span_off < base or end > base + len(data):
+            raise LayoutError(
+                f"raw range [{span_off}, {end}) outside span "
+                f"[{base}, {base + len(data)})")
+        return [data[pos - base] & _NIBBLE
+                for pos in range(first, end, LINE)]
 
 
 class SpanSet:
@@ -264,6 +325,9 @@ class SpanSet:
 
     def read_logical(self, logical_off: int, length: int) -> bytes:
         return self._route(logical_off, length).read_logical(logical_off, length)
+
+    def payload_byte(self, logical_off: int) -> int:
+        return self._route(logical_off, 1).payload_byte(logical_off)
 
     def write_logical(self, logical_off: int, payload: bytes) -> None:
         self._route(logical_off, len(payload)).write_logical(logical_off, payload)

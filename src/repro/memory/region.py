@@ -67,17 +67,30 @@ class MemoryRegion:
     8-byte lock words).
     """
 
+    #: Initial materialized size; the backing store grows geometrically
+    #: on first touch.  Unwritten bytes read as zeros either way, so lazy
+    #: growth is invisible — it just avoids zeroing (and resident-memory
+    #: charging) the full region for every short-lived cluster.
+    INITIAL_BYTES = 1 << 16
+
     def __init__(self, size: int) -> None:
         if size <= 0:
             raise MemoryAccessError(f"region size must be positive: {size}")
         self.size = size
-        self._data = bytearray(size)
+        self._data = bytearray(min(size, self.INITIAL_BYTES))
 
     def _check(self, offset: int, length: int) -> None:
-        if offset < 0 or length < 0 or offset + length > self.size:
+        end = offset + length
+        if offset < 0 or length < 0 or end > self.size:
             raise MemoryAccessError(
                 f"access [{offset}, {offset + length}) outside region "
                 f"of {self.size} bytes")
+        data = self._data
+        if end > len(data):
+            grown = len(data)
+            while grown < end:
+                grown <<= 1
+            data.extend(bytes(min(grown, self.size) - len(data)))
 
     def read(self, offset: int, length: int) -> bytes:
         """Copy *length* bytes starting at *offset*."""

@@ -43,10 +43,16 @@ class NicSpec:
     #: Parallel processing lanes per direction.
     lanes: int = 1
 
+    def __post_init__(self) -> None:
+        # Cache the per-verb IOPS floor; ``service_time`` runs for every
+        # simulated message.  Same float as computing it inline.
+        object.__setattr__(self, "_min_service", 1.0 / self.iops)
+
     def service_time(self, payload_bytes: int) -> float:
         """Service time for one message carrying *payload_bytes*."""
-        return max(1.0 / self.iops,
-                   (payload_bytes + WIRE_OVERHEAD) / self.bandwidth)
+        floor = self._min_service
+        transfer = (payload_bytes + WIRE_OVERHEAD) / self.bandwidth
+        return transfer if transfer > floor else floor
 
 
 class Nic:

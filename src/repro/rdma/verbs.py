@@ -108,33 +108,31 @@ class RdmaQp:
         return results
 
     def _read_group(self, requests: Sequence[Tuple[int, int]]) -> Generator:
+        engine = self.engine
         if self._cn_nic is not None:
             yield self._cn_nic.send(0)
-        mn0 = self._mn(requests[0][0])
-        yield self.engine.timeout(mn0.nic.spec.latency)
+        # Resolve each request's MN once; the same node serves the rx
+        # charge, the memory sample, and the tx transfer below.
+        targets = [(self._mn(addr), addr, length)
+                   for addr, length in requests]
+        mn0 = targets[0][0]
+        yield engine.timeout(mn0.nic.spec.latency)
         # Request processing: each verb charges the target MN's rx pipeline.
-        rx_events = []
-        for addr, _length in requests:
-            mn = self._mn(addr)
-            rx_events.append(mn.nic.receive(0))
-        yield self.engine.all_of(rx_events)
+        yield engine.all_of([mn.nic.receive(0) for mn, _a, _l in targets])
         # Memory is sampled when the request has been processed.
+        stats = self.stats
         payloads: List[bytes] = []
         total = 0
-        for addr, length in requests:
-            mn = self._mn(addr)
+        for mn, addr, length in targets:
             payloads.append(mn.mem_read(addr, length))
             total += length
-            self.stats.verbs += 1
-            self.stats.reads += 1
-            self.stats.bytes_read += length
+            stats.verbs += 1
+            stats.reads += 1
+            stats.bytes_read += length
         # Response transfer: data consumes MN egress bandwidth.
-        tx_events = []
-        for (addr, length), _payload in zip(requests, payloads):
-            mn = self._mn(addr)
-            tx_events.append(mn.nic.send(length))
-        yield self.engine.all_of(tx_events)
-        yield self.engine.timeout(mn0.nic.spec.latency)
+        yield engine.all_of([mn.nic.send(length)
+                             for mn, _a, length in targets])
+        yield engine.timeout(mn0.nic.spec.latency)
         if self._cn_nic is not None:
             yield self._cn_nic.receive(total)
         return payloads
@@ -186,16 +184,19 @@ class RdmaQp:
         line-version byte, making the NV check complete.  Aggregate
         bandwidth/IOPS costs match the unchunked model.
         """
+        engine = self.engine
+        stats = self.stats
         total = sum(len(data) for _addr, data in requests)
         if self._cn_nic is not None:
             yield self._cn_nic.send(total)
         mn0 = self._mn(requests[0][0])
-        yield self.engine.timeout(mn0.nic.spec.latency)
+        yield engine.timeout(mn0.nic.spec.latency)
         for addr, data in requests:
             mn = self._mn(addr)
-            spec = mn.nic.spec
-            mn.nic.bytes_in += len(data) + WIRE_OVERHEAD  # once per verb
-            mn.nic.messages_in += 1
+            nic = mn.nic
+            spec = nic.spec
+            nic.bytes_in += len(data) + WIRE_OVERHEAD  # once per verb
+            nic.messages_in += 1
             chunks = self._split_chunks(addr, data)
             # Per-chunk service times summing to exactly the unchunked
             # cost max(1/iops, (bytes + overhead) / bandwidth).
@@ -207,13 +208,15 @@ class RdmaQp:
             # Chunks are *chained*: each lands when its service slice
             # completes, and other queued verbs (reads!) may be served in
             # between — that is where genuinely torn reads come from.
+            mem_write = mn.mem_write
+            rx_request = nic.rx.request
             for (chunk_addr, chunk), service in zip(chunks, services):
-                yield mn.nic.rx.request(service)
-                mn.mem_write(chunk_addr, chunk)
-            self.stats.verbs += 1
-            self.stats.writes += 1
-            self.stats.bytes_written += len(data)
-        yield self.engine.timeout(mn0.nic.spec.latency)
+                yield rx_request(service)
+                mem_write(chunk_addr, chunk)
+            stats.verbs += 1
+            stats.writes += 1
+            stats.bytes_written += len(data)
+        yield engine.timeout(mn0.nic.spec.latency)
         if self._cn_nic is not None:
             yield self._cn_nic.receive(0)
 

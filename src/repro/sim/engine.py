@@ -34,6 +34,11 @@ class Event:
 
     __slots__ = ("engine", "callbacks", "_value", "_exception", "_triggered")
 
+    #: Class flag: does reaching the event's scheduled time trigger it
+    #: (Timeout) rather than an explicit succeed/fail?  Checked in the
+    #: engine's hot loop instead of an ``isinstance`` call.
+    _fires_by_time = False
+
     def __init__(self, engine: "Engine") -> None:
         self.engine = engine
         self.callbacks: List[Callable[["Event"], None]] = []
@@ -82,12 +87,14 @@ class Timeout(Event):
 
     __slots__ = ()
 
+    _fires_by_time = True
+
     def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
         super().__init__(engine)
         self._value = value
-        engine._schedule_at(engine.now + delay, self)
+        engine._schedule_at(engine._now + delay, self)
 
 
 class AllOf(Event):
@@ -205,10 +212,18 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
-        if event.exception is not None:
-            self._step(event.exception, is_exception=True)
+        if event._exception is not None:
+            self._step(event._exception, is_exception=True)
         else:
-            self._step(event.value, is_exception=False)
+            self._step(event._value, is_exception=False)
+
+    def _resume_waiting(self, _event: Event) -> None:
+        # Deferred resume from an already-triggered yield target (the
+        # target is stashed in ``_waiting_on``); avoids allocating a
+        # closure per step on this hot path.
+        target = self._waiting_on
+        if target is not None:
+            self._resume(target)
 
     def _step(self, payload: Any, is_exception: bool) -> None:
         if self._triggered:
@@ -232,9 +247,9 @@ class Process(Event):
                 f"process {self.name!r} yielded {target!r}, expected an Event"))
             return
         self._waiting_on = target
-        if target.triggered:
+        if target._triggered:
             immediate = Event(self.engine)
-            immediate.callbacks.append(lambda _ev: self._resume(target))
+            immediate.callbacks.append(self._resume_waiting)
             immediate.succeed(None)
         else:
             target.callbacks.append(self._resume)
@@ -317,26 +332,29 @@ class Engine:
         the first uncaught exception from any process nobody was waiting
         on.
         """
-        while self._heap:
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
             if self._pending_crash is not None:
                 exc, self._pending_crash = self._pending_crash, None
                 raise exc
-            when, _seq, event = self._heap[0]
+            when, _seq, event = heap[0]
             if until is not None and when > until:
                 self._now = until
                 break
-            heapq.heappop(self._heap)
+            heappop(heap)
             self._now = when
-            if isinstance(event, Timeout) and not event.triggered:
+            if event._fires_by_time and not event._triggered:
                 event._triggered = True  # fires by reaching its time
-            callbacks, event.callbacks = event.callbacks, []
+            callbacks = event.callbacks
+            event.callbacks = []
             for callback in callbacks:
                 callback(event)
             self.events_processed += 1
             if self.trace_hook is not None and \
                     self.events_processed % self.trace_interval == 0:
                 self.trace_hook(self._now, self.events_processed,
-                                len(self._heap))
+                                len(heap))
         else:
             if until is not None and until > self._now:
                 self._now = until

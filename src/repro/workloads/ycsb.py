@@ -12,9 +12,11 @@ Inserted keys are unique across clients (partitioned key ranges).
 
 from __future__ import annotations
 
+import hashlib
 import random
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import WorkloadError
 from repro.workloads.distributions import (
@@ -79,6 +81,16 @@ WORKLOADS = {spec.name: spec
                           YCSB_LOAD)}
 
 
+#: Memoized datasets, keyed (num_keys, key_space, seed).  Sweeps rebuild
+#: the same dataset for every point of a figure; generation (especially
+#: the sparse-key sampling path) is pure, so cache the pairs and hand
+#: each caller a fresh list.  Bounded: a sweep touches a handful of
+#: distinct shapes.
+_DATASET_CACHE: "OrderedDict[Tuple[int, int, int], Tuple[Tuple[int, int], ...]]" \
+    = OrderedDict()
+_DATASET_CACHE_LIMIT = 8
+
+
 def dataset(num_keys: int, key_space: int = 0,
             seed: int = 1) -> List[Tuple[int, int]]:
     """A sorted, unique (key, value) dataset.
@@ -89,11 +101,30 @@ def dataset(num_keys: int, key_space: int = 0,
     """
     if key_space and key_space < num_keys:
         raise WorkloadError("key_space smaller than num_keys")
+    cache_key = (num_keys, key_space, seed if key_space else 0)
+    cached = _DATASET_CACHE.get(cache_key)
+    if cached is not None:
+        _DATASET_CACHE.move_to_end(cache_key)
+        return list(cached)
     if not key_space:
-        return [(k, k * 31 % 1_000_003 + 1) for k in range(1, num_keys + 1)]
-    rng = random.Random(seed)
-    keys = sorted(rng.sample(range(1, key_space + 1), num_keys))
-    return [(k, k * 31 % 1_000_003 + 1) for k in keys]
+        pairs = [(k, k * 31 % 1_000_003 + 1) for k in range(1, num_keys + 1)]
+    else:
+        rng = random.Random(seed)
+        keys = sorted(rng.sample(range(1, key_space + 1), num_keys))
+        pairs = [(k, k * 31 % 1_000_003 + 1) for k in keys]
+    _DATASET_CACHE[cache_key] = tuple(pairs)
+    while len(_DATASET_CACHE) > _DATASET_CACHE_LIMIT:
+        _DATASET_CACHE.popitem(last=False)
+    return pairs
+
+
+#: Memoized op streams, keyed by everything an OpStream's output depends
+#: on.  Only insert-free, non-*latest* mixes are cacheable: those streams
+#: are pure functions of (spec, seed, theta, client, num_ops, keys),
+#: whereas D/E/LOAD consume the context's shared insert counter and read
+#: committed inserts, so their ops depend on run-time interleaving.
+_STREAM_CACHE: "OrderedDict[Tuple, Tuple[Op, ...]]" = OrderedDict()
+_STREAM_CACHE_LIMIT = 256
 
 
 class WorkloadContext:
@@ -121,6 +152,7 @@ class WorkloadContext:
         #: How many inserts the run is expected to perform (set by the
         #: runner; used to pre-train ROLEX on future keys).
         self.expected_insert_budget = 0
+        self._keys_digest_cache: Optional[bytes] = None
 
     def next_insert_key(self) -> int:
         key = self.insert_base + self._insert_counter
@@ -135,7 +167,28 @@ class WorkloadContext:
         ROLEX's model, mirroring the paper's methodology)."""
         return [self.insert_base + i for i in range(count)]
 
-    def stream(self, client_index: int, num_ops: int) -> "OpStream":
+    def _keys_digest(self) -> bytes:
+        if self._keys_digest_cache is None:
+            digest = hashlib.sha1()
+            for key in self.loaded_keys:
+                digest.update(key.to_bytes(8, "little", signed=False))
+            self._keys_digest_cache = digest.digest()
+        return self._keys_digest_cache
+
+    def stream(self, client_index: int,
+               num_ops: int) -> Union["OpStream", Tuple[Op, ...]]:
+        if self.spec.insert_fraction == 0 and not self.spec.latest:
+            cache_key = (self.spec, self.seed, self.theta, client_index,
+                         num_ops, self._keys_digest())
+            cached = _STREAM_CACHE.get(cache_key)
+            if cached is None:
+                cached = tuple(OpStream(self, client_index, num_ops))
+                _STREAM_CACHE[cache_key] = cached
+                while len(_STREAM_CACHE) > _STREAM_CACHE_LIMIT:
+                    _STREAM_CACHE.popitem(last=False)
+            else:
+                _STREAM_CACHE.move_to_end(cache_key)
+            return cached
         return OpStream(self, client_index, num_ops)
 
 

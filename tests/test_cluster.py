@@ -43,6 +43,22 @@ class TestIndexCache:
         assert cache.get(1) is None
         assert cache.bytes_used == 0
 
+    def test_oversized_replacement_counts_as_eviction(self):
+        cache = IndexCache(100)
+        cache.put(1, "a", 60)
+        assert cache.evictions == 0
+        # Replacing a cached entry with an uncacheable image drops the
+        # old entry — that loss must show up in the eviction counter.
+        cache.put(1, "grown", 500)
+        assert cache.get(1) is None
+        assert cache.bytes_used == 0
+        assert cache.evictions == 1
+
+    def test_oversized_insert_without_displacement_not_an_eviction(self):
+        cache = IndexCache(100)
+        cache.put(1, "big", 500)
+        assert cache.evictions == 0
+
     def test_unlimited_capacity(self):
         cache = IndexCache(None)
         for i in range(100):

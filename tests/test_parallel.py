@@ -1,0 +1,131 @@
+"""Parallel sweep execution: determinism contract and plumbing.
+
+The load-bearing guarantee is that a sweep's rows are byte-identical
+whether points run inline or fan out over worker processes.  The tests
+run real (small) fig12- and fig18a-style points both ways and compare
+full summary rows.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.parallel import (
+    JOBS_ENV,
+    PointSpec,
+    derive_seed,
+    resolve_jobs,
+    run_spec,
+    run_sweep,
+    sweep_rows,
+)
+from repro.bench.scale import Scale
+
+#: A tiny-but-real operating point; small enough for test budgets.
+TEST_SCALE = Scale(name="test", num_keys=400, ops_per_client=30,
+                   client_sweep=[4], clients=4, nic_scale=64.0, seed=7)
+
+
+def _fig12_specs():
+    """fig12-style points: two index families, one workload each."""
+    return [
+        PointSpec(index_name, workload, TEST_SCALE.num_keys,
+                  TEST_SCALE.ops_per_client,
+                  TEST_SCALE.cluster_config(clients=TEST_SCALE.clients),
+                  chime_overrides=TEST_SCALE.chime_overrides())
+        for workload in ("C", "A")
+        for index_name in ("chime", "sherman")
+    ]
+
+
+def _fig18a_specs():
+    """fig18a-style points: skew sensitivity via theta."""
+    return [
+        PointSpec("chime", "C", TEST_SCALE.num_keys,
+                  TEST_SCALE.ops_per_client,
+                  TEST_SCALE.cluster_config(clients=TEST_SCALE.clients),
+                  theta=theta,
+                  chime_overrides=TEST_SCALE.chime_overrides(),
+                  extra=(("theta", theta),))
+        for theta in (0.0, 0.99)
+    ]
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(42, "chime", 8) == derive_seed(42, "chime", 8)
+
+    def test_distinct_components(self):
+        seeds = {derive_seed(42, name, clients)
+                 for name in ("chime", "sherman", "rolex")
+                 for clients in (8, 16)}
+        assert len(seeds) == 6
+
+    def test_base_seed_matters(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "5")
+        assert resolve_jobs() == 5
+
+    def test_env_invalid(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "many")
+        with pytest.raises(ValueError):
+            resolve_jobs()
+
+    def test_default_from_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        expected = max(1, (os.cpu_count() or 2) - 1)
+        assert resolve_jobs() == expected
+
+    def test_floor_is_one(self):
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(-4) == 1
+
+
+class TestPointSpec:
+    def test_with_extra_appends(self):
+        spec = _fig18a_specs()[0]
+        spec2 = spec.with_extra(step="baseline")
+        assert spec2.extra == (("theta", 0.0), ("step", "baseline"))
+        assert spec.extra == (("theta", 0.0),)  # original untouched
+
+    def test_spec_is_picklable(self):
+        import pickle
+        for spec in _fig12_specs():
+            assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestRunSweep:
+    def test_empty(self):
+        assert run_sweep([]) == []
+
+    def test_serial_matches_single_spec(self):
+        spec = _fig12_specs()[0]
+        assert run_sweep([spec], jobs=1)[0].summary() == \
+            run_spec(spec).summary()
+
+    def test_fig12_serial_parallel_identical(self):
+        specs = _fig12_specs()
+        serial = run_sweep(specs, jobs=1)
+        parallel = run_sweep(specs, jobs=2)
+        assert [r.summary() for r in serial] == \
+            [r.summary() for r in parallel]
+
+    def test_fig18a_serial_parallel_identical(self):
+        specs = _fig18a_specs()
+        serial = sweep_rows(specs, jobs=1)
+        parallel = sweep_rows(specs, jobs=2)
+        assert serial == parallel
+        assert [row["theta"] for row in serial] == [0.0, 0.99]
+
+    def test_sweep_rows_merges_extra(self):
+        rows = sweep_rows(_fig18a_specs()[:1], jobs=1)
+        assert rows[0]["theta"] == 0.0
+        assert rows[0]["index"]  # base summary fields still present
