@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.bench.parallel import PointSpec, sweep_rows
 from repro.bench.runner import build_index, run_point
+from repro.registry import get_family
 from repro.bench.scale import Scale, current_scale
 from repro.cluster.cluster import Cluster
 from repro.config import ChimeConfig
@@ -52,7 +53,7 @@ def fig3a_tradeoff(scale: Optional[Scale] = None) -> List[Dict]:
                                                cache_bytes=None))
         index = build_index(name, cluster, span=span,
                             neighborhood=neighborhood)
-        if name.startswith("rolex"):
+        if get_family(name).model_routed:
             index.bulk_load(pairs, future_keys=())
         else:
             index.bulk_load(pairs)
@@ -272,7 +273,7 @@ def fig12_ycsb(scale: Optional[Scale] = None,
         for workload in workloads
         for index_name in indexes
         # the paper skips ROLEX for LOAD (§5.1 fn. 3)
-        if not (workload == "LOAD" and index_name.startswith("rolex"))
+        if not (workload == "LOAD" and get_family(index_name).family == "rolex")
         for clients in sweep
     ]
     return sweep_rows(specs)
@@ -295,7 +296,7 @@ def fig13_variable_kv(scale: Optional[Scale] = None,
                   chime_overrides=scale.chime_overrides())
         for workload in workloads
         for index_name in INDIRECT_INDEXES
-        if not (workload == "LOAD" and index_name.startswith("rolex"))
+        if not (workload == "LOAD" and get_family(index_name).family == "rolex")
     ]
     return sweep_rows(specs)
 
@@ -315,15 +316,16 @@ def fig14_cache_consumption(scale: Optional[Scale] = None,
         for index_name in ("chime", "sherman", "rolex", "smart"):
             cluster = Cluster(scale.cluster_config(clients=2,
                                                    cache_bytes=None))
+            family = get_family(index_name)
             index = build_index(index_name, cluster,
                                 chime_overrides=scale.chime_overrides()
-                                if index_name == "chime" else None)
-            if index_name == "rolex":
+                                if family.accepts_overrides else None)
+            if family.model_routed:
                 index.bulk_load(pairs, future_keys=())
             else:
                 index.bulk_load(pairs)
             cache_bytes = index.cache_bytes_needed()
-            hotspot = scale.hotspot_bytes if index_name == "chime" else 0
+            hotspot = scale.hotspot_bytes if family.accepts_overrides else 0
             rows.append({"index": index_name, "num_keys": num_keys,
                          "cache_bytes": cache_bytes,
                          "hotspot_bytes": hotspot,
@@ -368,7 +370,7 @@ def fig15b_learned_branch(scale: Optional[Scale] = None,
                   scale.ops_per_client, scale.cluster_config(),
                   key_space=scale.key_space,
                   chime_overrides=scale.chime_overrides()
-                  if index_name == "chime" else None)
+                  if get_family(index_name).accepts_overrides else None)
         for workload in workloads
         for index_name in ("rolex", "chime-learned", "chime")
     ]

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.bench.parallel import PointSpec, resolve_jobs, run_sweep
 from repro.bench.runner import build_index, load_index, run_workload
+from repro.registry import get_family
 from repro.bench.scale import Scale
 from repro.cluster.cluster import Cluster
 from repro.workloads.ycsb import WORKLOADS, WorkloadContext, dataset
@@ -45,20 +46,35 @@ PERF_INDEXES = ("chime", "sherman", "rolex", "smart")
 #: measurement: 2 workloads x 4 indexes x 2 client counts = 16 points.
 SWEEP_WORKLOADS = ("C", "A")
 
+#: Pipeline depths pinned for the CHIME YCSB-C depth sweep, and the
+#: client count it runs at.  At :data:`PERF_SCALE`'s 16 clients the MN
+#: NIC is already ~99% utilized at depth 1 — the paper's saturated
+#: regime, where coroutines cannot help (CHIME's CNs are deliberately
+#: coroutine-free) — so the sweep pins a 4-client point with NIC
+#: headroom, where DEX-style depth hides verb latency: depth=4 must
+#: show higher *simulated* ops/sec than depth=1.  Behavior
+#: preservation of the scheduler at depth 1 is proven separately by
+#: ``points["chime"]`` keeping its pre-scheduler event fingerprint.
+DEPTH_SWEEP = (1, 4)
+DEPTH_SWEEP_CLIENTS = 4
 
-def _perf_point(index_name: str) -> Dict:
+
+def _perf_point(index_name: str, depth: int = 1,
+                clients: Optional[int] = None) -> Dict:
     """One YCSB-C point with engine-level event accounting.
 
     Mirrors ``run_point`` but keeps the cluster visible so the event
     counter can be read without polluting ``RunResult.notes`` (which
-    would change every experiment's summary columns).
+    would change every experiment's summary columns).  *depth* is the
+    pipeline depth (op coroutines per client, see :mod:`repro.sched`).
     """
     scale = PERF_SCALE
-    config = scale.cluster_config(clients=scale.clients)
+    config = scale.cluster_config(clients=clients or scale.clients)
     cluster = Cluster(config)
+    family = get_family(index_name)
     index = build_index(index_name, cluster,
                         chime_overrides=scale.chime_overrides()
-                        if index_name.startswith("chime") else None)
+                        if family.accepts_overrides else None)
     pairs = dataset(scale.num_keys, key_space=scale.key_space,
                     seed=config.seed)
     spec = WORKLOADS["C"]
@@ -69,7 +85,7 @@ def _perf_point(index_name: str) -> Dict:
     events_before = cluster.engine.events_processed
     started = time.perf_counter()
     result = run_workload(cluster, index, "C", scale.ops_per_client,
-                          context)
+                          context, depth=depth)
     wall = time.perf_counter() - started
     events = cluster.engine.events_processed - events_before
     return {
@@ -131,6 +147,13 @@ def run_suite(jobs: Optional[int] = None) -> Dict:
     report["aggregate_events_per_sec"] = round(total_events / total_wall, 1)
     report["chaos"] = _chaos_point()
 
+    report["depth_sweep"] = {"clients": DEPTH_SWEEP_CLIENTS}
+    for depth in DEPTH_SWEEP:
+        point = _perf_point("chime", depth=depth,
+                            clients=DEPTH_SWEEP_CLIENTS)
+        point["depth"] = depth
+        report["depth_sweep"][f"depth{depth}"] = point
+
     specs = _sweep_specs()
     started = time.perf_counter()
     serial_results = run_sweep(specs, jobs=1)
@@ -173,6 +196,24 @@ def check_report(report: Dict, baseline: Dict,
                 f"{name}: events/sec regressed beyond tolerance "
                 f"({base['events_per_sec']:.0f} -> "
                 f"{point['events_per_sec']:.0f}, floor {floor:.0f})")
+    sweep = report.get("depth_sweep", {})
+    base_sweep = baseline.get("depth_sweep", {})
+    for key, point in sweep.items():
+        if not isinstance(point, dict):
+            continue
+        base = base_sweep.get(key)
+        if isinstance(base, dict) and point["events"] != base["events"]:
+            problems.append(
+                f"depth_sweep {key}: event count drifted "
+                f"({base['events']} -> {point['events']})")
+    depth1 = sweep.get("depth1")
+    depth4 = sweep.get("depth4")
+    if depth1 is not None and depth4 is not None:
+        if depth4["sim_throughput_mops"] <= depth1["sim_throughput_mops"]:
+            problems.append(
+                "depth_sweep: depth=4 did not raise simulated ops/sec "
+                f"({depth1['sim_throughput_mops']} -> "
+                f"{depth4['sim_throughput_mops']})")
     if not report["chaos"]["ok"]:
         problems.append("chaos campaign failed its invariants")
     if report["sweep_fig12_mini"].get("identical_results") is False:

@@ -1,95 +1,58 @@
 """The workload runner: closed-loop clients driving an index on a cluster.
 
 One call to :func:`run_workload` corresponds to one data point of a paper
-figure: it spawns a client coroutine per :class:`ClientContext`, drains
-one deterministic :class:`~repro.workloads.ycsb.OpStream` each, and
-collects throughput / latency / traffic into a
-:class:`~repro.bench.metrics.RunResult`.
+figure: it launches up to ``depth`` op coroutines ("lanes") per
+:class:`ClientContext` via :mod:`repro.sched`, drains one deterministic
+:class:`~repro.workloads.ycsb.OpStream` per client, and collects
+throughput / latency / traffic into a
+:class:`~repro.bench.metrics.RunResult`.  ``depth=1`` (the default) is
+event-sequence identical to the historical strictly serial client loop.
 
-:func:`build_index` is the factory the experiments use; names match the
-paper's legend entries ("chime", "sherman", "rolex", "smart",
-"smart-opt", "marlin", "chime-indirect", "rolex-indirect", "smart-rcu").
+Index construction goes through :mod:`repro.registry`;
+:func:`build_index` and :data:`KV_DISCRETE` are re-exported here for
+backwards compatibility with existing callers.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.baselines import (
-    MarlinIndex,
-    RolexConfig,
-    RolexIndex,
-    ShermanConfig,
-    ShermanIndex,
-    SmartConfig,
-    SmartIndex,
-)
 from repro.bench.metrics import RunResult
 from repro.cluster.cluster import Cluster
-from repro.config import ChimeConfig, ClusterConfig
-from repro.core import ChimeIndex
-from repro.errors import WorkloadError
+from repro.config import ClusterConfig
 from repro.obs import active_recording
-from repro.workloads.ycsb import (
-    INSERT,
-    READ_MODIFY_WRITE,
-    SCAN,
-    SEARCH,
-    UPDATE,
-    WORKLOADS,
-    WorkloadContext,
-    dataset,
-)
+from repro.registry import build_index, get_family
+from repro.sched import launch_clients, resolve_depth
+from repro.workloads.ycsb import WORKLOADS, WorkloadContext, dataset
+
+__all__ = ["KV_DISCRETE", "build_index", "load_index", "run_point",
+           "run_workload"]
 
 #: Index names that store leaf items discretely (no bulk-ordered leaves).
-KV_DISCRETE = {"smart", "smart-opt", "smart-rcu"}
+#: Derived from the registry's ``kv_discrete`` capability flag; kept as a
+#: module attribute for backwards compatibility.
+from repro.registry import kv_discrete_names as _kv_discrete_names
 
-
-def build_index(name: str, cluster: Cluster,
-                value_size: int = 8,
-                span: Optional[int] = None,
-                neighborhood: Optional[int] = None,
-                chime_overrides: Optional[dict] = None):
-    """Instantiate an index by its paper legend name."""
-    if name in ("chime", "chime-indirect"):
-        kwargs = dict(value_size=value_size,
-                      indirect_values=name.endswith("indirect"))
-        if span is not None:
-            kwargs["span"] = span
-        if neighborhood is not None:
-            kwargs["neighborhood"] = neighborhood
-        if chime_overrides:
-            kwargs.update(chime_overrides)
-        return ChimeIndex(cluster, ChimeConfig(**kwargs))
-    if name == "sherman":
-        return ShermanIndex(cluster, ShermanConfig(
-            span=span or 64, value_size=value_size))
-    if name == "marlin":
-        return MarlinIndex(cluster, ShermanConfig(
-            span=span or 64, value_size=value_size, indirect_values=True))
-    if name in ("smart", "smart-opt"):
-        return SmartIndex(cluster, SmartConfig(value_size=value_size))
-    if name == "smart-rcu":
-        return SmartIndex(cluster, SmartConfig(value_size=value_size,
-                                               rcu_updates=True))
-    if name in ("rolex", "rolex-indirect"):
-        return RolexIndex(cluster, RolexConfig(
-            span=span or 16, error=span or 16, value_size=value_size,
-            indirect_values=name.endswith("indirect")))
-    if name == "chime-learned":
-        from repro.core.learned import LearnedChimeIndex
-        return LearnedChimeIndex(cluster, span=span or 64,
-                                 neighborhood=neighborhood or 8,
-                                 value_size=value_size)
-    raise WorkloadError(f"unknown index name {name!r}")
+KV_DISCRETE = set(_kv_discrete_names())
 
 
 def load_index(index, pairs, workload_name: str,
                context: WorkloadContext) -> None:
     """Bulk load, pre-training model-routed indexes (ROLEX and
-    CHIME-Learned) on future insert keys (§5.1 fn. 3)."""
-    from repro.core.learned import LearnedChimeIndex
-    if isinstance(index, (RolexIndex, LearnedChimeIndex)):
+    CHIME-Learned) on future insert keys (§5.1 fn. 3).
+
+    Model-routedness comes from the registry when the index was built
+    through it; indexes constructed directly fall back to an
+    isinstance check.
+    """
+    family = getattr(index, "registry_family", None)
+    if family is not None:
+        model_routed = family.model_routed
+    else:
+        from repro.baselines import RolexIndex
+        from repro.core.learned import LearnedChimeIndex
+        model_routed = isinstance(index, (RolexIndex, LearnedChimeIndex))
+    if model_routed:
         spec = WORKLOADS[workload_name]
         expected_inserts = 0
         if spec.insert_fraction:
@@ -103,60 +66,50 @@ def load_index(index, pairs, workload_name: str,
 def run_workload(cluster: Cluster, index, workload_name: str,
                  ops_per_client: int, context: WorkloadContext,
                  warmup_fraction: float = 0.1,
-                 max_sim_seconds: Optional[float] = None) -> RunResult:
-    """Drive every cluster client through its op stream; returns metrics."""
-    clients = list(cluster.clients())
-    index_clients = [index.client(ctx) for ctx in clients]
-    latencies: list = []
-    completed = [0]
+                 max_sim_seconds: Optional[float] = None,
+                 depth: Optional[int] = None) -> RunResult:
+    """Drive every cluster client through its op stream; returns metrics.
+
+    *depth* overrides the pipeline depth for this run; by default it
+    resolves through ``REPRO_DEPTH`` and then
+    :attr:`~repro.config.ClusterConfig.pipeline_depth`.
+    """
+    depth = resolve_depth(depth, cluster.config)
     warmup = int(ops_per_client * warmup_fraction)
     traffic_before = cluster.traffic_totals()
+    # Snapshot cumulative cache counters so the reported hit ratio only
+    # reflects this run — bulk load, warm-up traffic, or a previous run
+    # on the same cluster must not pollute it.
+    cache_before = [(cn.cache.hits, cn.cache.misses) for cn in cluster.cns]
     start_time = cluster.engine.now
 
-    def client_loop(client, stream):
-        engine = cluster.engine
-        for op_index, op in enumerate(stream):
-            begin = engine.now
-            if op.kind == SEARCH:
-                yield from client.search(op.key)
-            elif op.kind == UPDATE:
-                yield from client.update(op.key, op.value)
-            elif op.kind == INSERT:
-                yield from client.insert(op.key, op.value)
-                context.commit_insert(op.key)
-            elif op.kind == SCAN:
-                yield from client.scan(op.key, op.scan_count)
-            elif op.kind == READ_MODIFY_WRITE:
-                current = yield from client.search(op.key)
-                if current is not None:
-                    yield from client.update(op.key, op.value)
-            else:
-                raise WorkloadError(f"unknown op kind {op.kind}")
-            completed[0] += 1
-            if op_index >= warmup:
-                latencies.append((engine.now - begin) * 1e6)
-
-    for client_index, client in enumerate(index_clients):
-        stream = context.stream(client_index, ops_per_client)
-        cluster.engine.process(client_loop(client, iter(stream)))
+    run = launch_clients(cluster, index, context, ops_per_client, warmup,
+                         depth=depth)
     cluster.run(until=None if max_sim_seconds is None
                 else start_time + max_sim_seconds)
     elapsed = cluster.engine.now - start_time
     traffic = cluster.traffic_totals().delta(traffic_before)
-    hit_ratio = (sum(cn.cache.hits for cn in cluster.cns)
-                 / max(1, sum(cn.cache.hits + cn.cache.misses
-                              for cn in cluster.cns)))
+    hits = sum(cn.cache.hits - before[0]
+               for cn, before in zip(cluster.cns, cache_before))
+    misses = sum(cn.cache.misses - before[1]
+                 for cn, before in zip(cluster.cns, cache_before))
+    hit_ratio = hits / max(1, hits + misses)
     result = RunResult(
         index_name=getattr(index, "name", type(index).__name__),
         workload=workload_name,
-        num_clients=len(clients),
-        ops_completed=completed[0],
+        num_clients=cluster.total_clients,
+        ops_completed=run.ops_completed,
         elapsed_seconds=elapsed,
-        latencies_us=latencies,
+        latencies_us=run.latencies,
         traffic=traffic,
         cache_bytes_used=cluster.cache_bytes_used(),
         cache_hit_ratio=hit_ratio,
     )
+    if depth > 1:
+        result.notes["sched.depth"] = float(depth)
+        parked = run.lanes_parked
+        if parked:
+            result.notes["sched.lanes_parked"] = float(parked)
     recording = active_recording()
     if recording is not None:
         result.notes.update(recording.notes())
@@ -170,10 +123,21 @@ def run_point(index_name: str, workload_name: str, num_keys: int,
               theta: float = 0.99,
               chime_overrides: Optional[dict] = None,
               key_space: int = 0,
-              unlimited_cache_for: Sequence[str] = ("smart-opt",),
+              unlimited_cache_for: Optional[Sequence[str]] = None,
+              depth: Optional[int] = None,
               ) -> RunResult:
-    """Build cluster + index + workload and run one measurement point."""
-    if index_name in unlimited_cache_for:
+    """Build cluster + index + workload and run one measurement point.
+
+    ``unlimited_cache_for`` defaults to the registry's
+    ``unlimited_cache`` capability (historically the hardcoded
+    ``("smart-opt",)`` set); pass an explicit sequence to override.
+    """
+    family = get_family(index_name)
+    if unlimited_cache_for is None:
+        uncapped = family.unlimited_cache
+    else:
+        uncapped = index_name in unlimited_cache_for
+    if uncapped:
         cluster_config = cluster_config.scaled(cache_bytes=None)
     cluster = Cluster(cluster_config)
     index = build_index(index_name, cluster, value_size=value_size,
@@ -189,6 +153,6 @@ def run_point(index_name: str, workload_name: str, num_keys: int,
     context.expected_insert_budget = total_inserts
     load_index(index, pairs, workload_name, context)
     result = run_workload(cluster, index, workload_name, ops_per_client,
-                          context)
+                          context, depth=depth)
     result.index_name = index_name
     return result

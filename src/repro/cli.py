@@ -10,6 +10,9 @@ Usage::
     python -m repro run fig12 --format csv --seed 7
     python -m repro run all --scale quick
     python -m repro run fig12 --jobs 4                # parallel sweep
+    python -m repro run fig12 --depth 4               # 4 op coroutines/client
+    python -m repro run --list-indexes                # registry contents
+    python -m repro run --list-workloads
     python -m repro perf                              # pinned perf suite
     python -m repro perf --check --tolerance 0.5
     python -m repro trace --index chime --workload C --out trace.json
@@ -105,7 +108,42 @@ def _apply_seed(scale: Scale, seed: Optional[int]) -> Scale:
     return dataclasses.replace(scale, seed=seed)
 
 
+def _list_indexes() -> None:
+    from repro.registry import families
+    rows = [{"index": f.name, "family": f.family,
+             "kv_discrete": f.kv_discrete, "scan": f.supports_scan,
+             "chaos": f.supports_chaos, "indirect": f.indirect_values,
+             "model_routed": f.model_routed,
+             "description": f.description}
+            for f in families()]
+    print(format_table(rows, title="registered index families"))
+
+
+def _list_workloads() -> None:
+    from repro.workloads.ycsb import WORKLOADS
+    rows = []
+    for name, spec in WORKLOADS.items():
+        row = {"workload": name}
+        for fld in dataclasses.fields(spec):
+            row[fld.name] = getattr(spec, fld.name)
+        rows.append(row)
+    print(format_table(rows, title="YCSB workload mixes"))
+
+
 def _cmd_run(args) -> int:
+    if args.list_indexes or args.list_workloads:
+        try:
+            if args.list_indexes:
+                _list_indexes()
+            if args.list_workloads:
+                _list_workloads()
+        except BrokenPipeError:  # e.g. `... --list-indexes | head`
+            pass
+        return 0
+    if not args.figure:
+        print("a figure name (or 'all') is required; "
+              "try 'python -m repro list'", file=sys.stderr)
+        return 2
     names = list(EXPERIMENTS) if args.figure == "all" else [args.figure]
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
@@ -121,6 +159,14 @@ def _cmd_run(args) -> int:
         # repro.bench.parallel.resolve_jobs), so one flag covers every
         # figure the selected run touches.
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.depth is not None:
+        if args.depth < 1:
+            print("--depth must be >= 1", file=sys.stderr)
+            return 2
+        # Same pattern as --jobs: run_workload reads the pipeline depth
+        # from the environment (via repro.sched.resolve_depth), so one
+        # flag covers every point the selected figures run.
+        os.environ["REPRO_DEPTH"] = str(args.depth)
 
     recorder = None
     if args.trace:
@@ -162,6 +208,7 @@ def _cmd_trace(args) -> int:
     from repro import obs
     from repro.bench.runner import run_point
     from repro.errors import WorkloadError
+    from repro.registry import get_family
     from repro.workloads.ycsb import WORKLOADS
 
     if args.workload not in WORKLOADS:
@@ -171,11 +218,13 @@ def _cmd_trace(args) -> int:
     scale = _apply_seed(PRESETS[args.scale], args.seed)
     config = scale.cluster_config(clients=args.clients)
     try:
+        family = get_family(args.index)
         with obs.recording() as recorder:
             result = run_point(args.index, args.workload, scale.num_keys,
                                args.ops or scale.ops_per_client, config,
                                chime_overrides=scale.chime_overrides()
-                               if args.index.startswith("chime") else None)
+                               if family.accepts_overrides else None,
+                               depth=args.depth)
     except WorkloadError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -212,6 +261,13 @@ def _cmd_perf(args) -> int:
                  f"{sweep['parallel_wall_s']}s, {sweep['speedup']}x")
     print(line + f"; chaos {report['chaos']['wall_s']}s "
                  f"{'OK' if report['chaos']['ok'] else 'FAILED'}]")
+    depth_sweep = report.get("depth_sweep", {})
+    parts = [f"depth={p['depth']}: {p['sim_throughput_mops']} Mops"
+             for p in depth_sweep.values() if isinstance(p, dict)]
+    if parts:
+        print(f"[depth sweep (chime, YCSB-C, "
+              f"{depth_sweep.get('clients', '?')} clients): "
+              f"{'; '.join(parts)}]")
 
     if args.check:
         baseline = perf.load_baseline(args.baseline)
@@ -296,6 +352,8 @@ def _cmd_chaos(args) -> int:
     if args.keys:
         overrides["initial_keys"] = args.keys
         overrides["key_space"] = args.keys * 2
+    if args.depth:
+        overrides["pipeline_depth"] = args.depth
     outages = []
     for spec in args.outage or ():
         try:
@@ -327,7 +385,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub.add_parser("list", help="list available figures")
 
     run_parser = sub.add_parser("run", help="run one figure (or 'all')")
-    run_parser.add_argument("figure", help="figure name or 'all'")
+    run_parser.add_argument("figure", nargs="?", default=None,
+                            help="figure name or 'all'")
+    run_parser.add_argument("--list-indexes", action="store_true",
+                            help="list registered index families with "
+                                 "their capability flags, then exit")
+    run_parser.add_argument("--list-workloads", action="store_true",
+                            help="list YCSB workload mixes, then exit")
     run_parser.add_argument("--scale", default="quick",
                             choices=sorted(PRESETS),
                             help="scaling preset (default: quick)")
@@ -345,6 +409,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                             help="worker processes for sweep points "
                                  "(default: $REPRO_JOBS or cores-1; "
                                  "1 = serial; forced serial with --trace)")
+    run_parser.add_argument("--depth", type=int, default=None, metavar="D",
+                            help="op coroutines per client "
+                                 "(default: $REPRO_DEPTH or 1 = the "
+                                 "strictly serial client loop)")
 
     trace_parser = sub.add_parser(
         "trace", help="trace one workload point (spans + metrics)")
@@ -361,6 +429,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                               help="ops per client (default: preset)")
     trace_parser.add_argument("--seed", type=int, default=None,
                               help="override the preset's RNG seed")
+    trace_parser.add_argument("--depth", type=int, default=None,
+                              metavar="D",
+                              help="op coroutines per client (default: "
+                                   "$REPRO_DEPTH or 1)")
     trace_parser.add_argument("--out", default=None, metavar="PATH",
                               help="write Chrome trace-event JSON here")
     perf_parser = sub.add_parser(
@@ -407,6 +479,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                               help="ops per client")
     chaos_parser.add_argument("--keys", type=int, default=None,
                               help="bulk-loaded key count")
+    chaos_parser.add_argument("--depth", type=int, default=None,
+                              metavar="D",
+                              help="op coroutines per client (default: 1)")
     args = parser.parse_args(argv)
 
     if args.command == "list":

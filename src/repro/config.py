@@ -56,6 +56,11 @@ class ClusterConfig:
     #: exceed the longest lock hold time (including a leaf split), or
     #: live holders raise :class:`~repro.errors.LockLeaseExpiredError`.
     lease_duration: float = 200e-6
+    #: Outstanding op coroutines ("lanes") per client — DEX-style
+    #: coroutine depth.  1 (the default) is the historical strictly
+    #: serial client loop, event-for-event; higher depths overlap that
+    #: many ops per client on its queue pair (see :mod:`repro.sched`).
+    pipeline_depth: int = 1
     #: RNG seed for client workload streams.
     seed: int = 42
 

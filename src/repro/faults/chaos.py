@@ -37,6 +37,7 @@ from repro.faults.invariants import InvariantReport, check_tree_invariants
 from repro.faults.plan import FaultPlan
 from repro.obs import recording
 from repro.retry import DEFAULT_RETRY_POLICY
+from repro.sched import LaneContext, resolve_depth
 from repro.workloads.ycsb import dataset
 
 __all__ = ["ChaosConfig", "ChaosResult", "build_plan", "run_chaos"]
@@ -80,6 +81,10 @@ class ChaosConfig:
     # Workload mix (remainder of the unit interval is searches).
     insert_fraction: float = 0.5
     update_fraction: float = 0.25
+    #: Op coroutines ("lanes") per client (see :mod:`repro.sched`).
+    #: 1 keeps the historical strictly serial chaos clients; higher
+    #: depths overlap ops, so a CN crash parks several in-flight lanes.
+    pipeline_depth: int = 1
 
 
 @dataclass
@@ -95,6 +100,8 @@ class ChaosResult:
     fault_counters: Dict[str, int]
     metrics: Dict[str, float]
     invariants: InvariantReport = field(default_factory=InvariantReport)
+    #: Coroutines parked at a verb by their CN's death, per qp owner.
+    parked: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -111,6 +118,7 @@ class ChaosResult:
             "fault_counters": dict(sorted(self.fault_counters.items())),
             "metrics": dict(sorted(self.metrics.items())),
             "invariants": self.invariants.to_dict(),
+            "parked": dict(sorted(self.parked.items())),
         }
 
 
@@ -129,38 +137,66 @@ def build_plan(cfg: ChaosConfig) -> FaultPlan:
     return plan
 
 
-def _worker(cfg: ChaosConfig, client, name: str, client_index: int,
-            completed: Dict[str, int], inserted: List[int],
-            errors: List[Dict]) -> Generator:
-    """One closed-loop chaos client.
+def _client_ops(cfg: ChaosConfig, client_index: int) -> List[Tuple[str, int]]:
+    """Pre-draw one client's op list as ``(kind, key)`` tuples.
 
-    The op mix is drawn from a per-client RNG seeded from (campaign
-    seed, client index) only — no globals, no hashing — so the stream
-    is stable across runs and interpreter invocations.  The first op is
-    always an insert, guaranteeing the default crash spec (die before
-    the first write verb) catches its victim holding a leaf lock.
-    A :class:`~repro.errors.ReproError` stops the client and is
-    recorded; keys are counted committed only after the insert returns.
+    The mix is drawn from a per-client RNG seeded from (campaign seed,
+    client index) only — no globals, no hashing — so the stream is
+    stable across runs and interpreter invocations.  The consumption
+    order (key first, then the mix draw) matches the historical inline
+    loop exactly, and the draws never depended on execution results, so
+    pre-materializing keeps every campaign byte-identical.  The first
+    op is always an insert, guaranteeing the default crash spec (die
+    before the first write verb) catches its victim holding a leaf
+    lock.
     """
     rng = random.Random(cfg.seed * 1_000_003 + 7919 * client_index)
+    ops: List[Tuple[str, int]] = []
+    for op_index in range(cfg.ops_per_client):
+        key = rng.randrange(1, cfg.key_space + 1)
+        if op_index == 0:
+            ops.append(("insert", key))
+            continue
+        draw = rng.random()
+        if draw < cfg.insert_fraction:
+            ops.append(("insert", key))
+        elif draw < cfg.insert_fraction + cfg.update_fraction:
+            ops.append(("update", key))
+        else:
+            ops.append(("search", key))
+    return ops
+
+
+def _chaos_lane(client, lane_name: str, client_name: str, ops,
+                completed: Dict[str, int], inserted: List[int],
+                errors: List[Dict], halted: List[bool]) -> Generator:
+    """One chaos lane: pull ops from the client's shared iterator.
+
+    All lanes of a client drain one iterator, so ops run exactly once
+    regardless of depth.  A :class:`~repro.errors.ReproError` stops the
+    *whole client* — the erroring lane raises the shared ``halted``
+    flag and sibling lanes stop pulling — matching the historical
+    one-error-kills-the-client semantics at any depth.  Keys are
+    counted committed only after the insert returns; errors record the
+    lane name, so overlapping failures stay attributable.
+    """
     try:
-        for op_index in range(cfg.ops_per_client):
-            key = rng.randrange(1, cfg.key_space + 1)
-            if op_index == 0:
+        while not halted[0]:
+            try:
+                kind, key = next(ops)
+            except StopIteration:
+                return
+            if kind == "insert":
                 yield from client.insert(key, key * 7 + 1)
                 inserted.append(key)
+            elif kind == "update":
+                yield from client.update(key, key * 11 + 1)
             else:
-                draw = rng.random()
-                if draw < cfg.insert_fraction:
-                    yield from client.insert(key, key * 7 + 1)
-                    inserted.append(key)
-                elif draw < cfg.insert_fraction + cfg.update_fraction:
-                    yield from client.update(key, key * 11 + 1)
-                else:
-                    yield from client.search(key)
-            completed[name] += 1
+                yield from client.search(key)
+            completed[client_name] += 1
     except ReproError as exc:
-        errors.append({"client": name, "error": type(exc).__name__,
+        halted[0] = True
+        errors.append({"client": lane_name, "error": type(exc).__name__,
                        "detail": str(exc)[:120]})
 
 
@@ -170,7 +206,11 @@ def run_chaos(cfg: ChaosConfig) -> ChaosResult:
         num_cns=cfg.num_cns, num_mns=cfg.num_mns,
         clients_per_cn=cfg.clients_per_cn,
         lock_leases=cfg.lock_leases, lease_duration=cfg.lease_duration,
+        pipeline_depth=cfg.pipeline_depth,
         seed=cfg.seed)
+    # Explicit depth: a ChaosConfig maps to exactly one ChaosResult, so
+    # the REPRO_DEPTH environment override must not apply here.
+    depth = resolve_depth(cfg.pipeline_depth)
     retry = DEFAULT_RETRY_POLICY.scaled(max_attempts=cfg.max_attempts,
                                         deadline=cfg.deadline)
     with recording() as rec:
@@ -185,10 +225,15 @@ def run_chaos(cfg: ChaosConfig) -> ChaosResult:
         for client_index, ctx in enumerate(cluster.clients()):
             name = ctx.name
             completed[name] = 0
-            cluster.engine.process(
-                _worker(cfg, index.client(ctx), name, client_index,
-                        completed, inserted, errors),
-                name=f"chaos-{name}")
+            ops = iter(_client_ops(cfg, client_index))
+            halted = [False]
+            for lane in range(depth):
+                lane_ctx = ctx if lane == 0 else LaneContext(ctx, lane)
+                cluster.engine.process(
+                    _chaos_lane(index.client(lane_ctx), lane_ctx.name,
+                                name, ops, completed, inserted, errors,
+                                halted),
+                    name=f"chaos-{lane_ctx.name}")
         cluster.run()
         expected = set(k for k, _ in pairs) | set(inserted)
         invariants = check_tree_invariants(index, expected_keys=expected)
@@ -204,4 +249,5 @@ def run_chaos(cfg: ChaosConfig) -> ChaosResult:
         fault_counters=dict(sorted(injector.counters.items())),
         metrics=metrics,
         invariants=invariants,
+        parked=dict(sorted(injector.parked.items())),
     )

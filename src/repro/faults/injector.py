@@ -45,6 +45,12 @@ class FaultInjector:
         self.rng = random.Random(plan.seed)
         #: CN ids whose node has crashed; their clients park at the next verb.
         self.dead_cns: Set[int] = set()
+        #: Parked coroutines per qp owner ("cn0/c0" -> count).  With
+        #: pipeline depth > 1 a crashed client has several lanes in
+        #: flight; each parks independently at its next verb, so the
+        #: count per owner reaches the number of lanes that were still
+        #: issuing verbs when the CN died.
+        self.parked: Dict[str, int] = {}
         #: ``fault.*`` event counts (also folded into obs metrics).
         self.counters: Dict[str, int] = {}
         self._loss_counts = [0] * len(plan.losses)
@@ -141,6 +147,7 @@ class FaultInjector:
         processes, so the run still terminates.
         """
         self._count("fault.dead_cn_verb")
+        self.parked[qp.owner] = self.parked.get(qp.owner, 0) + 1
         if BUS.active:
             BUS.emit("fault.dead_cn_verb", self.engine.now, owner=qp.owner,
                      verb=kind)

@@ -21,7 +21,7 @@ falls back to the clock installed by the last constructed
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 __all__ = ["ObsEvent", "Subscription", "EventBus", "BUS"]
 

@@ -21,7 +21,7 @@ check per call.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Dict, Generator, List, Tuple
 
 from repro.obs.bus import BUS, EventBus, ObsEvent
 

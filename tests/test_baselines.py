@@ -10,9 +10,7 @@ from hypothesis import strategies as st
 from repro.baselines import (
     MarlinIndex,
     PlaModel,
-    RolexConfig,
     RolexIndex,
-    ShermanConfig,
     ShermanIndex,
     SmartConfig,
     SmartIndex,

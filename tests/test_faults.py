@@ -8,7 +8,6 @@ from repro.cluster import Cluster
 from repro.config import ChimeConfig, ClusterConfig
 from repro.core import ChimeIndex
 from repro.core.node_layout import (
-    LOCK_LEASE_OFFSET,
     lease_expiry_us,
     pack_lease,
     sim_us,
@@ -22,7 +21,7 @@ from repro.errors import (
     ReproError,
     RetryExhaustedError,
 )
-from repro.faults import FaultInjector, FaultPlan
+from repro.faults import FaultPlan
 from repro.memory import make_addr
 from repro.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.sim import Engine

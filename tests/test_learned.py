@@ -1,12 +1,8 @@
 """Integration tests for CHIME-Learned (model-routed hopscotch leaves)."""
 
-import random
-
-import pytest
-
 from repro.cluster import Cluster
 from repro.config import ClusterConfig
-from repro.core import ChimeIndex, LearnedChimeIndex
+from repro.core import LearnedChimeIndex
 
 
 def make_index(num_keys=2000, future=()):

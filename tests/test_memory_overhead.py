@@ -5,8 +5,6 @@ The paper derives, per 256-byte KV item: ~8.3 bytes of metadata (bitmap
 load-factor overhead (~1.1x at H=8, closable to ~1.002x at H=16).
 """
 
-import pytest
-
 from repro.cluster import Cluster
 from repro.config import ChimeConfig, ClusterConfig
 from repro.core import ChimeIndex

@@ -17,7 +17,6 @@ from repro.obs import (
     MetricsCollector,
     Registry,
     Span,
-    SpanStore,
     chrome_trace_events,
     flame_summary,
     render_chrome_trace,

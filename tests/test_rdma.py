@@ -3,7 +3,7 @@
 import pytest
 
 from repro.memory import MemoryNode, ChunkAllocator, addr_mn, make_addr
-from repro.rdma import Nic, NicSpec, RdmaQp, WIRE_OVERHEAD
+from repro.rdma import NicSpec, RdmaQp, WIRE_OVERHEAD
 from repro.sim import Engine
 
 

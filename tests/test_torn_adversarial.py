@@ -84,9 +84,12 @@ class TestChimeUnderTearing:
         # Count the update's chunk landings as they happen.
         landings = []
         original_write = mn.mem_write
-        mn.mem_write = lambda addr, data: (
-            landings.append((engine.now, len(data))),
-            original_write(addr, data))[1]
+
+        def counting_write(addr, data):
+            landings.append((engine.now, len(data)))
+            return original_write(addr, data)
+
+        mn.mem_write = counting_write
 
         # Warm the reader's hotspot buffer (speculative path) first.
         warm = []

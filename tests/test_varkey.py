@@ -1,7 +1,5 @@
 """Tests for variable-length key support (fingerprint + block chains)."""
 
-import random
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
