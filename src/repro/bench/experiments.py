@@ -97,13 +97,14 @@ def fig3a_tradeoff(scale: Optional[Scale] = None) -> List[Dict]:
 def fig3b_limited_bandwidth(scale: Optional[Scale] = None,
                             indexes: Sequence[str] = ("chime", "sherman",
                                                       "rolex", "smart"),
-                            ) -> List[Dict]:
+                            seed: Optional[int] = None) -> List[Dict]:
     """YCSB C, 1 MN (bandwidth-limited), ample cache: client sweep."""
     scale = scale or current_scale()
     specs = [
         PointSpec(index_name, "C", scale.num_keys, scale.ops_per_client,
                   scale.cluster_config(clients=clients, num_mns=1,
-                                       cache_bytes=10 * scale.cache_bytes),
+                                       cache_bytes=10 * scale.cache_bytes,
+                                       seed=seed),
                   key_space=scale.key_space,
                   chime_overrides=scale.chime_overrides())
         for index_name in indexes
@@ -115,13 +116,14 @@ def fig3b_limited_bandwidth(scale: Optional[Scale] = None,
 def fig3c_limited_cache(scale: Optional[Scale] = None,
                         indexes: Sequence[str] = ("chime", "sherman",
                                                   "rolex", "smart"),
-                        ) -> List[Dict]:
+                        seed: Optional[int] = None) -> List[Dict]:
     """YCSB C, several MNs (ample bandwidth), the scaled 100 MB cache."""
     scale = scale or current_scale()
     specs = [
         PointSpec(index_name, "C", scale.num_keys, scale.ops_per_client,
                   scale.cluster_config(clients=clients, num_mns=8,
-                                       cache_bytes=scale.cache_bytes),
+                                       cache_bytes=scale.cache_bytes,
+                                       seed=seed),
                   key_space=scale.key_space,
                   chime_overrides=scale.chime_overrides(),
                   unlimited_cache_for=())
@@ -261,13 +263,14 @@ def table1_rtts(scale: Optional[Scale] = None) -> List[Dict]:
 def fig12_ycsb(scale: Optional[Scale] = None,
                workloads: Sequence[str] = ("A", "B", "C", "D", "E", "LOAD"),
                indexes: Sequence[str] = MAIN_INDEXES,
-               client_sweep: Optional[Sequence[int]] = None) -> List[Dict]:
+               client_sweep: Optional[Sequence[int]] = None,
+               seed: Optional[int] = None) -> List[Dict]:
     scale = scale or current_scale()
     sweep = client_sweep or scale.client_sweep
     specs = [
         PointSpec(index_name, workload, scale.num_keys,
                   scale.ops_per_client,
-                  scale.cluster_config(clients=clients),
+                  scale.cluster_config(clients=clients, seed=seed),
                   key_space=scale.key_space,
                   chime_overrides=scale.chime_overrides())
         for workload in workloads
@@ -286,11 +289,12 @@ def fig12_ycsb(scale: Optional[Scale] = None,
 def fig13_variable_kv(scale: Optional[Scale] = None,
                       workloads: Sequence[str] = ("A", "C", "D", "E",
                                                   "LOAD"),
-                      value_size: int = 32) -> List[Dict]:
+                      value_size: int = 32,
+                      seed: Optional[int] = None) -> List[Dict]:
     scale = scale or current_scale()
     specs = [
         PointSpec(index_name, workload, scale.num_keys,
-                  scale.ops_per_client, scale.cluster_config(),
+                  scale.ops_per_client, scale.cluster_config(seed=seed),
                   value_size=value_size,
                   key_space=scale.key_space,
                   chime_overrides=scale.chime_overrides())
@@ -356,7 +360,7 @@ FACTOR_STEPS = (
 
 def fig15b_learned_branch(scale: Optional[Scale] = None,
                           workloads: Sequence[str] = ("C", "A"),
-                          ) -> List[Dict]:
+                          seed: Optional[int] = None) -> List[Dict]:
     """Figure 15b + §5.3: applying the hopscotch leaf to ROLEX.
 
     ROLEX -> CHIME-Learned (model routing over hopscotch leaves) ->
@@ -367,7 +371,7 @@ def fig15b_learned_branch(scale: Optional[Scale] = None,
     scale = scale or current_scale()
     specs = [
         PointSpec(index_name, workload, scale.num_keys,
-                  scale.ops_per_client, scale.cluster_config(),
+                  scale.ops_per_client, scale.cluster_config(seed=seed),
                   key_space=scale.key_space,
                   chime_overrides=scale.chime_overrides()
                   if get_family(index_name).accepts_overrides else None)
@@ -379,7 +383,7 @@ def fig15b_learned_branch(scale: Optional[Scale] = None,
 
 def fig15_factor_analysis(scale: Optional[Scale] = None,
                           workloads: Sequence[str] = ("C", "LOAD", "A"),
-                          ) -> List[Dict]:
+                          seed: Optional[int] = None) -> List[Dict]:
     scale = scale or current_scale()
     specs = []
     for workload in workloads:
@@ -393,7 +397,7 @@ def fig15_factor_analysis(scale: Optional[Scale] = None,
                     chime_overrides.update(overrides)
             specs.append(PointSpec(
                 index_name, workload, scale.num_keys, scale.ops_per_client,
-                scale.cluster_config(), key_space=scale.key_space,
+                scale.cluster_config(seed=seed), key_space=scale.key_space,
                 chime_overrides=chime_overrides,
                 extra=(("step", step_name),)))
     return sweep_rows(specs)
@@ -428,12 +432,12 @@ def fig16_sibling_validation() -> List[Dict]:
 
 def fig17_speculative(scale: Optional[Scale] = None,
                       client_sweep: Optional[Sequence[int]] = None,
-                      ) -> List[Dict]:
+                      seed: Optional[int] = None) -> List[Dict]:
     scale = scale or current_scale()
     sweep = client_sweep or scale.client_sweep
     specs = [
         PointSpec("chime", "C", scale.num_keys, scale.ops_per_client,
-                  scale.cluster_config(clients=clients),
+                  scale.cluster_config(clients=clients, seed=seed),
                   key_space=scale.key_space,
                   chime_overrides=dict(scale.chime_overrides(),
                                        speculative_read=speculative),
@@ -451,11 +455,12 @@ def fig17_speculative(scale: Optional[Scale] = None,
 def fig18a_skewness(scale: Optional[Scale] = None,
                     thetas: Sequence[float] = (0.5, 0.7, 0.9, 0.99),
                     indexes: Sequence[str] = ("chime", "sherman", "rolex",
-                                              "smart")) -> List[Dict]:
+                                              "smart"),
+                    seed: Optional[int] = None) -> List[Dict]:
     scale = scale or current_scale()
     specs = [
         PointSpec(index_name, "A", scale.num_keys, scale.ops_per_client,
-                  scale.cluster_config(), theta=theta,
+                  scale.cluster_config(seed=seed), theta=theta,
                   key_space=scale.key_space,
                   chime_overrides=scale.chime_overrides(),
                   extra=(("theta", theta),))
@@ -468,12 +473,14 @@ def fig18a_skewness(scale: Optional[Scale] = None,
 def fig18b_cache_size(scale: Optional[Scale] = None,
                       factors: Sequence[float] = (0.25, 1.0, 4.0, 16.0),
                       indexes: Sequence[str] = ("chime", "sherman", "rolex",
-                                                "smart")) -> List[Dict]:
+                                                "smart"),
+                      seed: Optional[int] = None) -> List[Dict]:
     scale = scale or current_scale()
     specs = [
         PointSpec(index_name, "C", scale.num_keys, scale.ops_per_client,
                   scale.cluster_config(
-                      cache_bytes=int(scale.cache_bytes * factor)),
+                      cache_bytes=int(scale.cache_bytes * factor),
+                      seed=seed),
                   key_space=scale.key_space,
                   chime_overrides=scale.chime_overrides(),
                   unlimited_cache_for=(),
@@ -488,11 +495,11 @@ def fig18c_inline_value_size(scale: Optional[Scale] = None,
                              sizes: Sequence[int] = (8, 64, 256, 512),
                              indexes: Sequence[str] = ("chime", "sherman",
                                                        "rolex", "smart"),
-                             ) -> List[Dict]:
+                             seed: Optional[int] = None) -> List[Dict]:
     scale = scale or current_scale()
     specs = [
         PointSpec(index_name, "C", scale.num_keys, scale.ops_per_client,
-                  scale.cluster_config(), value_size=size,
+                  scale.cluster_config(seed=seed), value_size=size,
                   key_space=scale.key_space,
                   chime_overrides=scale.chime_overrides(),
                   extra=(("value_size", size),))
@@ -504,11 +511,11 @@ def fig18c_inline_value_size(scale: Optional[Scale] = None,
 
 def fig18d_indirect_value_size(scale: Optional[Scale] = None,
                                sizes: Sequence[int] = (8, 64, 256, 512),
-                               ) -> List[Dict]:
+                               seed: Optional[int] = None) -> List[Dict]:
     scale = scale or current_scale()
     specs = [
         PointSpec(index_name, "C", scale.num_keys, scale.ops_per_client,
-                  scale.cluster_config(), value_size=size,
+                  scale.cluster_config(seed=seed), value_size=size,
                   key_space=scale.key_space,
                   chime_overrides=scale.chime_overrides(),
                   extra=(("value_size", size),))
@@ -520,11 +527,11 @@ def fig18d_indirect_value_size(scale: Optional[Scale] = None,
 
 def fig18e_span_size(scale: Optional[Scale] = None,
                      spans: Sequence[int] = (16, 64, 128, 256),
-                     ) -> List[Dict]:
+                     seed: Optional[int] = None) -> List[Dict]:
     scale = scale or current_scale()
     specs = [
         PointSpec(index_name, "C", scale.num_keys, scale.ops_per_client,
-                  scale.cluster_config(), span=span,
+                  scale.cluster_config(seed=seed), span=span,
                   key_space=scale.key_space,
                   chime_overrides=scale.chime_overrides(),
                   extra=(("span", span),))
@@ -536,11 +543,11 @@ def fig18e_span_size(scale: Optional[Scale] = None,
 
 def fig18f_neighborhood_size(scale: Optional[Scale] = None,
                              neighborhoods: Sequence[int] = (2, 4, 8, 16),
-                             ) -> List[Dict]:
+                             seed: Optional[int] = None) -> List[Dict]:
     scale = scale or current_scale()
     specs = [
         PointSpec("chime", "C", scale.num_keys, scale.ops_per_client,
-                  scale.cluster_config(), neighborhood=neighborhood,
+                  scale.cluster_config(seed=seed), neighborhood=neighborhood,
                   key_space=scale.key_space,
                   chime_overrides=scale.chime_overrides(),
                   extra=(("neighborhood", neighborhood),))

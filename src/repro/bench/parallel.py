@@ -79,6 +79,10 @@ class PointSpec:
     chime_overrides: Optional[dict] = None
     key_space: int = 0
     unlimited_cache_for: Tuple[str, ...] = ("smart-opt",)
+    #: Explicit pipeline depth.  None resolves through ``REPRO_DEPTH``
+    #: and then the cluster config (the historical behavior); campaigns
+    #: pin it so a stored point can never depend on ambient environment.
+    depth: Optional[int] = None
     extra: Tuple[Tuple[str, Any], ...] = ()
 
     def with_extra(self, **fields: Any) -> "PointSpec":
@@ -96,7 +100,8 @@ def run_spec(spec: PointSpec) -> RunResult:
         chime_overrides=dict(spec.chime_overrides)
         if spec.chime_overrides is not None else None,
         key_space=spec.key_space,
-        unlimited_cache_for=spec.unlimited_cache_for)
+        unlimited_cache_for=spec.unlimited_cache_for,
+        depth=spec.depth)
 
 
 def run_sweep(specs: Iterable[PointSpec],

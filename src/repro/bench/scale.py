@@ -20,7 +20,7 @@ preset produced the committed numbers.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional
 
 from repro.config import (
@@ -109,8 +109,20 @@ PRESETS = {"quick": QUICK, "default": DEFAULT, "full": FULL}
 
 
 def current_scale() -> Scale:
-    """The preset selected by ``REPRO_SCALE`` (default: ``default``)."""
+    """The preset selected by ``REPRO_SCALE`` (default: ``default``).
+
+    ``REPRO_SEED`` overrides the preset's RNG seed — the environment
+    analogue of the CLI's ``--seed``, used by campaign replicates to
+    rerun the committed benchmark suites under an explicit seed.
+    """
     name = os.environ.get("REPRO_SCALE", "default").lower()
     if name not in PRESETS:
         raise KeyError(f"REPRO_SCALE must be one of {sorted(PRESETS)}")
-    return PRESETS[name]
+    scale = PRESETS[name]
+    seed_env = os.environ.get("REPRO_SEED", "").strip()
+    if seed_env:
+        try:
+            scale = replace(scale, seed=int(seed_env))
+        except ValueError:
+            raise ValueError(f"REPRO_SEED must be an integer: {seed_env!r}")
+    return scale

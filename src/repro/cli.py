@@ -19,6 +19,10 @@ Usage::
     python -m repro chaos --crash cn0/c0:lock --seed 7
     python -m repro chaos --no-leases --crash cn0/c0:lock
     python -m repro chaos --loss 0.01 --delay 0.05 --outage 0:100us:300us
+    python -m repro campaign run --indexes chime,sherman --seeds 3
+    python -m repro campaign status
+    python -m repro campaign report --out campaign-report.html
+    python -m repro campaign diff
 
 Figure names map to the experiment functions of
 :mod:`repro.bench.experiments`; ``--scale`` picks a preset from
@@ -376,6 +380,170 @@ def _cmd_chaos(args) -> int:
     return 0 if ok else 1
 
 
+# --------------------------------------------------------------------------
+# campaign — the repro.xpmt experiment service
+# --------------------------------------------------------------------------
+
+#: Default campaign store path (repo root, gitignored).
+CAMPAIGN_DB = "campaigns.sqlite"
+
+
+def _campaign_scale(args) -> Scale:
+    """Resolve --scale (presets + the pinned 'perf' point) + overrides."""
+    if args.scale == "perf":
+        from repro.bench.perf import PERF_SCALE
+        scale = PERF_SCALE
+    else:
+        scale = PRESETS[args.scale]
+    overrides = {}
+    if getattr(args, "num_keys", None):
+        overrides["num_keys"] = args.num_keys
+    if getattr(args, "ops", None):
+        overrides["ops_per_client"] = args.ops
+    return dataclasses.replace(scale, **overrides) if overrides else scale
+
+
+def _campaign_plan(args):
+    from repro.xpmt import CampaignPlan, CellSpec
+
+    scale = _campaign_scale(args)
+    indexes = [n.strip() for n in args.indexes.split(",") if n.strip()]
+    workloads = [w.strip().upper() for w in args.workloads.split(",")
+                 if w.strip()]
+    if args.clients:
+        clients = [int(c) for c in args.clients.split(",")]
+    else:
+        clients = [scale.clients]
+    cells = tuple(
+        CellSpec(index, workload, count, depth=args.depth,
+                 value_size=args.value_size, theta=args.theta,
+                 span=args.span, neighborhood=args.neighborhood)
+        for index in indexes
+        for workload in workloads
+        for count in clients)
+    base = args.seed_base if args.seed_base is not None else scale.seed
+    seeds = tuple(base + i for i in range(args.seeds))
+    return CampaignPlan(scale=scale, cells=cells, seeds=seeds,
+                        name=args.name or "")
+
+
+def _campaign_id_or_latest(store, requested: Optional[str],
+                           parser_hint: str) -> Optional[str]:
+    if requested:
+        return requested
+    campaigns = store.campaigns()
+    if not campaigns:
+        print(f"no campaigns in {store.path}; run "
+              f"'python -m repro campaign run' first", file=sys.stderr)
+        return None
+    if len(campaigns) > 1:
+        names = ", ".join(c["id"] for c in campaigns)
+        print(f"multiple campaigns in {store.path} ({names}); "
+              f"pick one with {parser_hint}", file=sys.stderr)
+        return None
+    return campaigns[0]["id"]
+
+
+def _cmd_campaign(args) -> int:
+    from repro.registry import get_family
+    from repro.workloads.ycsb import WORKLOADS
+    from repro.xpmt import CampaignStore
+
+    if args.campaign_command == "run":
+        try:
+            plan = _campaign_plan(args)
+        except KeyError as exc:
+            print(f"bad campaign matrix: {exc}", file=sys.stderr)
+            return 2
+        for cell in plan.cells:
+            try:
+                get_family(cell.index)
+            except KeyError:
+                print(f"unknown index {cell.index!r}; see "
+                      f"'repro run --list-indexes'", file=sys.stderr)
+                return 2
+            if cell.workload not in WORKLOADS:
+                print(f"unknown workload {cell.workload!r}; choose from "
+                      f"{', '.join(sorted(WORKLOADS))}", file=sys.stderr)
+                return 2
+        if not plan.cells:
+            print("empty campaign matrix", file=sys.stderr)
+            return 2
+        if args.jobs is not None and args.jobs < 1:
+            print("--jobs must be >= 1", file=sys.stderr)
+            return 2
+        with CampaignStore(args.db) as store:
+            from repro.xpmt import run_campaign
+            summary = run_campaign(store, plan, jobs=args.jobs,
+                                   limit=args.limit, echo=print)
+        print(summary.describe())
+        return 0
+
+    if args.campaign_command == "status":
+        from repro.xpmt import campaign_status
+        with CampaignStore(args.db) as store:
+            rows = campaign_status(store)
+            total = store.point_count()
+        if not rows:
+            print(f"no campaigns recorded in {args.db}")
+            return 0
+        print(format_table(rows, title=f"campaigns in {args.db} "
+                                       f"({total} stored points)"))
+        return 0
+
+    if args.campaign_command == "report":
+        from repro.xpmt import build_report
+        with CampaignStore(args.db) as store:
+            campaign_id = _campaign_id_or_latest(store, args.id, "--id")
+            if campaign_id is None:
+                return 2
+            baseline = "" if args.no_baseline else args.baseline
+            document, verdict = build_report(
+                store, campaign_id, baseline_path=baseline,
+                alpha=args.alpha, min_drop=args.min_drop,
+                baseline_tolerance=args.baseline_tolerance)
+        with open(args.out, "w") as sink:
+            sink.write(document)
+        for problem in verdict["problems"]:
+            print(f"regression: {problem}", file=sys.stderr)
+        for warning in verdict["warnings"]:
+            print(f"warning: {warning}", file=sys.stderr)
+        status = "PASS" if verdict["ok"] else "FAIL"
+        print(f"[campaign {campaign_id}: {status} — "
+              f"{len(verdict['checks'])} cells, "
+              f"{len(verdict['problems'])} regressions, "
+              f"{len(verdict['warnings'])} warnings -> {args.out}]")
+        return 0 if verdict["ok"] else 1
+
+    # diff
+    from repro.xpmt import collect_cells, diff_cells
+    with CampaignStore(args.db) as store:
+        campaign_id = _campaign_id_or_latest(store, args.id, "--id")
+        if campaign_id is None:
+            return 2
+        cells = collect_cells(store, campaign_id)
+    if not cells:
+        print(f"campaign {campaign_id} has no stored points",
+              file=sys.stderr)
+        return 2
+    commits: List[str] = []
+    for cell in cells:
+        for commit in cell.commit_order:
+            if commit not in commits:
+                commits.append(commit)
+    base = args.base or (commits[-2] if len(commits) >= 2 else None)
+    head = args.head or commits[-1]
+    if base is None:
+        print("only one commit stored; nothing to diff against "
+              "(pass --base)", file=sys.stderr)
+        return 2
+    rows = diff_cells(cells, base, head)
+    print(format_table(rows, title=f"campaign {campaign_id}: "
+                                   f"{base[:12]} -> {head[:12]}"))
+    regressed = any(r["verdict"] == "REGRESSED" for r in rows)
+    return 1 if regressed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -482,6 +650,93 @@ def main(argv: Optional[List[str]] = None) -> int:
     chaos_parser.add_argument("--depth", type=int, default=None,
                               metavar="D",
                               help="op coroutines per client (default: 1)")
+
+    campaign_parser = sub.add_parser(
+        "campaign",
+        help="incremental multi-seed sweep campaigns (repro.xpmt)")
+    campaign_sub = campaign_parser.add_subparsers(dest="campaign_command",
+                                                  required=True)
+
+    def _db_arg(p):
+        p.add_argument("--db", default=CAMPAIGN_DB, metavar="PATH",
+                       help=f"campaign sqlite store "
+                            f"(default: {CAMPAIGN_DB})")
+
+    crun = campaign_sub.add_parser(
+        "run", help="run (or resume) a campaign; stored points are "
+                    "skipped")
+    _db_arg(crun)
+    crun.add_argument("--name", default="", help="campaign id (default: "
+                                                 "derived from the matrix)")
+    crun.add_argument("--scale", default="quick",
+                      choices=sorted(PRESETS) + ["perf"],
+                      help="scaling preset; 'perf' pins the BENCH_perf "
+                           "operating point (default: quick)")
+    crun.add_argument("--indexes", default="chime", metavar="A,B",
+                      help="comma-separated index families "
+                           "(default: chime)")
+    crun.add_argument("--workloads", default="C", metavar="X,Y",
+                      help="comma-separated YCSB letters (default: C)")
+    crun.add_argument("--clients", default="", metavar="N,M",
+                      help="comma-separated client counts "
+                           "(default: the preset's operating point)")
+    crun.add_argument("--depth", type=int, default=1, metavar="D",
+                      help="pipeline depth pinned per point (default: 1)")
+    crun.add_argument("--value-size", type=int, default=8, metavar="B")
+    crun.add_argument("--theta", type=float, default=0.99,
+                      help="zipf skew for A-style workloads")
+    crun.add_argument("--span", type=int, default=None)
+    crun.add_argument("--neighborhood", type=int, default=None)
+    crun.add_argument("--seeds", type=int, default=3, metavar="N",
+                      help="replicates per cell (default: 3)")
+    crun.add_argument("--seed-base", type=int, default=None, metavar="S",
+                      help="first replicate seed (default: preset seed)")
+    crun.add_argument("--num-keys", type=int, default=None,
+                      help="override the preset's dataset size")
+    crun.add_argument("--ops", type=int, default=None,
+                      help="override the preset's ops per client")
+    crun.add_argument("--jobs", type=int, default=None, metavar="N",
+                      help="worker processes (default: $REPRO_JOBS "
+                           "or cores-1)")
+    crun.add_argument("--limit", type=int, default=None, metavar="K",
+                      help="execute at most K missing points this "
+                           "invocation (budget valve)")
+
+    cstatus = campaign_sub.add_parser("status",
+                                      help="list campaigns and progress")
+    _db_arg(cstatus)
+
+    creport = campaign_sub.add_parser(
+        "report", help="render the static HTML report + verdict")
+    _db_arg(creport)
+    creport.add_argument("--id", default="", help="campaign id "
+                                                  "(default: the only one)")
+    creport.add_argument("--out", default="campaign-report.html",
+                         metavar="PATH")
+    creport.add_argument("--baseline", default="BENCH_perf.json",
+                         metavar="PATH",
+                         help="perf baseline to check comparable cells "
+                              "against (default: BENCH_perf.json)")
+    creport.add_argument("--no-baseline", action="store_true",
+                         help="skip the BENCH_perf.json comparison")
+    creport.add_argument("--alpha", type=float, default=0.05,
+                         help="Mann-Whitney significance level")
+    creport.add_argument("--min-drop", type=float, default=0.05,
+                         help="relative mean drop below which a cell is "
+                              "never flagged")
+    creport.add_argument("--baseline-tolerance", type=float, default=0.25,
+                         help="allowed relative shortfall vs the perf "
+                              "baseline")
+
+    cdiff = campaign_sub.add_parser(
+        "diff", help="compare two stored commits cell by cell")
+    _db_arg(cdiff)
+    cdiff.add_argument("--id", default="", help="campaign id")
+    cdiff.add_argument("--base", default="", metavar="COMMIT",
+                       help="baseline commit (default: previous stored)")
+    cdiff.add_argument("--head", default="", metavar="COMMIT",
+                       help="head commit (default: newest stored)")
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -497,6 +752,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_chaos(args)
     if args.command == "perf":
         return _cmd_perf(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     return _cmd_run(args)
 
 

@@ -1,0 +1,37 @@
+"""Campaign context for observability metadata.
+
+The campaign runner (:mod:`repro.xpmt.runner`) wraps its sweep in
+:func:`campaign_scope`; while the scope is active, every span the
+:class:`~repro.obs.spans.SpanStore` records is stamped with the campaign
+id, and the Chrome-trace exporter carries it in the document metadata —
+so a trace captured inside a campaign can always be joined back to the
+sqlite rows it produced.
+
+Kept in its own module (not ``repro.obs.__init__``) so the span store
+can import it without a circular import.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+__all__ = ["active_campaign", "campaign_scope"]
+
+#: Stack of active campaign ids (innermost last).
+_ACTIVE: List[str] = []
+
+
+def active_campaign() -> Optional[str]:
+    """The innermost active campaign id, or None outside any scope."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def campaign_scope(campaign_id: str) -> Iterator[str]:
+    """Mark everything recorded inside the block with *campaign_id*."""
+    _ACTIVE.append(campaign_id)
+    try:
+        yield campaign_id
+    finally:
+        _ACTIVE.pop()

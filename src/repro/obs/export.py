@@ -43,7 +43,9 @@ def chrome_trace_events(spans: Iterable[Span]) -> List[Dict]:
             "pid": 0,
             "tid": span.client,
             "args": {"seq": span.seq, "rtts": span.rtts,
-                     **({"error": True} if span.error else {})},
+                     **({"error": True} if span.error else {}),
+                     **({"campaign": span.campaign}
+                        if span.campaign else {})},
         })
     return events
 
@@ -51,10 +53,15 @@ def chrome_trace_events(spans: Iterable[Span]) -> List[Dict]:
 def render_chrome_trace(spans: Iterable[Span],
                         metadata: Dict = None) -> Dict:
     """The full trace document (``traceEvents`` + display hints)."""
+    spans = list(spans)
     document = {
         "traceEvents": chrome_trace_events(spans),
         "displayTimeUnit": "ms",
     }
+    campaigns = sorted({s.campaign for s in spans if s.campaign})
+    if campaigns:
+        metadata = dict(metadata or {})
+        metadata.setdefault("campaigns", campaigns)
     if metadata:
         document["otherData"] = dict(metadata)
     return document

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Tuple
 
 from repro.obs.bus import BUS, EventBus, ObsEvent
+from repro.obs.campaign import active_campaign
 
 __all__ = ["Span", "OpTrace", "SpanStore", "SpanInstrumentedOps",
            "traced_span"]
@@ -41,6 +42,9 @@ class Span:
     end: float
     rtts: int = 0
     error: bool = False
+    #: Campaign id active while the span was recorded ("" outside any
+    #: campaign scope); see :mod:`repro.obs.campaign`.
+    campaign: str = ""
 
     @property
     def duration(self) -> float:
@@ -104,7 +108,8 @@ class SpanStore:
         self.spans.append(Span(
             client=data["client"], name=data["name"], seq=data["seq"],
             level=data["level"], begin=data["begin"], end=data["end"],
-            rtts=data.get("rtts", 0), error=data.get("error", False)))
+            rtts=data.get("rtts", 0), error=data.get("error", False),
+            campaign=active_campaign() or ""))
 
     def ops(self) -> List[OpTrace]:
         """Group phase spans under their operation spans.

@@ -1,0 +1,202 @@
+"""Deterministic campaign specs and their content hashes.
+
+A campaign is a cross-product of *cells* (index family x workload x
+client count x pipeline depth, plus the per-point knobs a
+:class:`~repro.bench.parallel.PointSpec` accepts) and *seeds*.  Each
+(cell, seed) pair is one sweep point, persisted in the campaign store
+keyed by ``(commit, seed, spec_hash)``.
+
+The spec hash must never alias across configurations: it covers the
+cell's own fields, the resolved scale preset (name *and* the concrete
+numbers, so an edited preset re-keys), the CHIME overrides the runner
+will apply, and any unrecognized ``REPRO_*`` environment knobs.  Knobs
+the runner resolves explicitly (scale, depth, seed, jobs, campaign
+routing) are excluded from the environment section because their
+resolved values are already first-class hash fields — including the raw
+environment too would alias identical runs apart.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.scale import Scale
+
+__all__ = [
+    "CellSpec",
+    "CampaignPlan",
+    "current_commit",
+    "relevant_env",
+    "spec_hash",
+]
+
+#: Spec-payload schema version; bump when the payload shape changes so
+#: old stored points can never collide with new ones.
+SPEC_VERSION = 1
+
+#: ``REPRO_*`` knobs whose resolved values are explicit payload fields
+#: (or provably cannot change a point's result, like the worker count).
+RESOLVED_ENV = frozenset(
+    {
+        "REPRO_CAMPAIGN_DB",
+        "REPRO_CAMPAIGN_ID",
+        "REPRO_COMMIT",
+        "REPRO_DEPTH",
+        "REPRO_JOBS",
+        "REPRO_SCALE",
+        "REPRO_SEED",
+    }
+)
+
+
+def relevant_env() -> Dict[str, str]:
+    """Unresolved ``REPRO_*`` environment knobs, for the spec payload."""
+    env = {}
+    for key in sorted(os.environ):
+        if key.startswith("REPRO_") and key not in RESOLVED_ENV:
+            env[key] = os.environ[key]
+    return env
+
+
+def current_commit() -> str:
+    """The commit hash results are keyed under.
+
+    ``REPRO_COMMIT`` overrides (tests and CI matrix builds use this to
+    fabricate trajectories); otherwise ``git rev-parse HEAD``; falls
+    back to ``"unknown"`` outside a checkout.
+    """
+    override = os.environ.get("REPRO_COMMIT", "").strip()
+    if override:
+        return override
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except OSError:
+        return "unknown"
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else "unknown"
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One sweep cell: everything but the seed and the commit."""
+
+    index: str
+    workload: str
+    clients: int
+    depth: int = 1
+    value_size: int = 8
+    theta: float = 0.99
+    span: Optional[int] = None
+    neighborhood: Optional[int] = None
+
+    def label(self) -> str:
+        """Compact human label used by reports and status tables."""
+        text = f"{self.index}/{self.workload} c{self.clients}"
+        if self.depth != 1:
+            text += f" d{self.depth}"
+        if self.value_size != 8:
+            text += f" v{self.value_size}"
+        if self.span is not None:
+            text += f" s{self.span}"
+        if self.neighborhood is not None:
+            text += f" h{self.neighborhood}"
+        return text
+
+
+def _scale_payload(scale: Scale) -> Dict:
+    return {
+        "name": scale.name,
+        "num_keys": scale.num_keys,
+        "ops_per_client": scale.ops_per_client,
+        "nic_scale": scale.nic_scale,
+        "num_mns": scale.num_mns,
+        "key_space_factor": scale.key_space_factor,
+    }
+
+
+def spec_payload(cell: CellSpec, scale: Scale, chime_overrides: Optional[Dict] = None) -> Dict:
+    """The canonical (JSON-stable) description one spec hash covers."""
+    return {
+        "v": SPEC_VERSION,
+        "cell": asdict(cell),
+        "scale": _scale_payload(scale),
+        "chime_overrides": dict(chime_overrides) if chime_overrides else None,
+        "env": relevant_env(),
+    }
+
+
+def spec_hash(payload: Dict) -> str:
+    """A 16-hex-digit content hash of a canonical spec payload."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """A campaign: cells x seeds at one scale, with a stable identity."""
+
+    scale: Scale
+    cells: Tuple[CellSpec, ...]
+    seeds: Tuple[int, ...]
+    name: str = ""
+    #: Extra CHIME overrides applied on top of the scale's own (rare).
+    chime_overrides: Tuple[Tuple[str, object], ...] = field(default_factory=tuple)
+
+    @property
+    def campaign_id(self) -> str:
+        """Explicit name, else a content-derived ``auto-<digest>`` id.
+
+        Deterministic so rerunning the same command resumes the same
+        campaign instead of forking a new one.
+        """
+        if self.name:
+            return self.name
+        digest = spec_hash(
+            {
+                "scale": _scale_payload(self.scale),
+                "cells": [asdict(cell) for cell in self.cells],
+                "seeds": list(self.seeds),
+            }
+        )
+        return f"auto-{digest[:10]}"
+
+    def describe(self) -> Dict:
+        """JSON-stable plan description stored in the campaigns table."""
+        return {
+            "name": self.name,
+            "scale": _scale_payload(self.scale),
+            "cells": [asdict(cell) for cell in self.cells],
+            "seeds": list(self.seeds),
+            "chime_overrides": dict(self.chime_overrides) or None,
+        }
+
+    def cell_overrides(self, cell: CellSpec) -> Optional[Dict]:
+        """The CHIME overrides the runner applies to *cell*'s points."""
+        from repro.registry import get_family
+
+        if not get_family(cell.index).accepts_overrides:
+            return None
+        overrides = dict(self.scale.chime_overrides())
+        overrides.update(dict(self.chime_overrides))
+        return overrides
+
+    def targets(self) -> List[Tuple[CellSpec, int, str, Dict]]:
+        """Every (cell, seed, spec_hash, payload) point, in plan order."""
+        out = []
+        for cell in self.cells:
+            payload = spec_payload(cell, self.scale, self.cell_overrides(cell))
+            digest = spec_hash(payload)
+            for seed in self.seeds:
+                out.append((cell, seed, digest, payload))
+        return out

@@ -1,0 +1,132 @@
+"""Replicate statistics: mean / CI and a Mann-Whitney rank test.
+
+Pure stdlib.  The confidence interval uses Student's t critical values
+(two-sided, 95%) so small replicate counts get honest widths; the
+significance check between two commits' replicate sets is a two-sided
+Mann-Whitney U with normal approximation, tie correction, and
+continuity correction — exactly the test fuzzbench-style campaign
+services use for "did this change regress this cell" questions, because
+it assumes nothing about the latency/throughput distribution shape.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+__all__ = ["summarize", "mann_whitney_u", "compare"]
+
+#: Two-sided 95% Student-t critical values by degrees of freedom.
+_T95 = {
+    1: 12.706,
+    2: 4.303,
+    3: 3.182,
+    4: 2.776,
+    5: 2.571,
+    6: 2.447,
+    7: 2.365,
+    8: 2.306,
+    9: 2.262,
+    10: 2.228,
+    15: 2.131,
+    20: 2.086,
+    30: 2.042,
+}
+
+
+def _t_critical(df: int) -> float:
+    if df <= 0:
+        return 0.0
+    best = 1.96
+    for known_df in sorted(_T95):
+        if df <= known_df:
+            return _T95[known_df]
+        best = _T95[known_df]
+    return min(best, 1.96) if df > 30 else best
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """n / mean / sample stdev / 95% CI half-width for one replicate set."""
+    n = len(values)
+    if n == 0:
+        return {"n": 0, "mean": 0.0, "stdev": 0.0, "ci95": 0.0}
+    mean = sum(values) / n
+    if n < 2:
+        return {"n": n, "mean": mean, "stdev": 0.0, "ci95": 0.0}
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    stdev = math.sqrt(variance)
+    ci95 = _t_critical(n - 1) * stdev / math.sqrt(n)
+    return {"n": n, "mean": mean, "stdev": stdev, "ci95": ci95}
+
+
+def _ranks(values: Sequence[float]) -> Tuple[list, float]:
+    """Average ranks (1-based) plus the tie-correction sum ``t^3 - t``."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    tie_sum = 0.0
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        tied = j - i + 1
+        average = (i + j) / 2 + 1
+        for k in range(i, j + 1):
+            ranks[order[k]] = average
+        if tied > 1:
+            tie_sum += tied**3 - tied
+        i = j + 1
+    return ranks, tie_sum
+
+
+def mann_whitney_u(a: Sequence[float], b: Sequence[float]) -> Tuple[float, float]:
+    """Two-sided Mann-Whitney U; returns ``(u, p)``.
+
+    Normal approximation with tie and continuity corrections.  With an
+    empty side, or when every value is identical, the test is undefined
+    and ``p = 1.0`` is returned (never significant).
+    """
+    n1, n2 = len(a), len(b)
+    if n1 == 0 or n2 == 0:
+        return 0.0, 1.0
+    ranks, tie_sum = _ranks(list(a) + list(b))
+    r1 = sum(ranks[:n1])
+    u1 = n1 * n2 + n1 * (n1 + 1) / 2 - r1
+    u = min(u1, n1 * n2 - u1)
+    n = n1 + n2
+    mu = n1 * n2 / 2
+    tie_term = tie_sum / (n * (n - 1)) if n > 1 else 0.0
+    variance = n1 * n2 / 12 * ((n + 1) - tie_term)
+    if variance <= 0:
+        return u, 1.0
+    z = (u - mu + 0.5) / math.sqrt(variance)
+    p = math.erfc(abs(z) / math.sqrt(2))
+    return u, min(1.0, p)
+
+
+def compare(
+    old: Sequence[float],
+    new: Sequence[float],
+    alpha: float = 0.05,
+    min_rel_drop: float = 0.05,
+) -> Dict[str, float]:
+    """Regression comparison of two replicate sets (higher is better).
+
+    ``regressed`` requires both a relative mean drop beyond
+    ``min_rel_drop`` *and* Mann-Whitney significance at ``alpha``;
+    ``suspect`` flags a drop that is too noisy to call (small n).
+    """
+    old_mean = summarize(old)["mean"]
+    new_mean = summarize(new)["mean"]
+    rel_change = (new_mean - old_mean) / old_mean if old_mean else 0.0
+    u, p = mann_whitney_u(old, new)
+    dropped = rel_change < -min_rel_drop
+    return {
+        "old_mean": old_mean,
+        "new_mean": new_mean,
+        "rel_change": rel_change,
+        "u": u,
+        "p": p,
+        "regressed": bool(dropped and p < alpha),
+        "suspect": bool(dropped and p >= alpha),
+    }
