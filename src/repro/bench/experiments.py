@@ -9,6 +9,7 @@ fall.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.bench.parallel import PointSpec, sweep_rows
@@ -466,6 +467,51 @@ def fig18a_skewness(scale: Optional[Scale] = None,
                   extra=(("theta", theta),))
         for index_name in indexes
         for theta in thetas
+    ]
+    return sweep_rows(specs)
+
+
+def skew_sync_sweep(scale: Optional[Scale] = None,
+                    sync_modes: Sequence[str] = ("optimistic",
+                                                 "pessimistic",
+                                                 "adaptive"),
+                    client_sweep: Sequence[int] = (8, 16, 32, 48, 96),
+                    thetas: Sequence[float] = (0.6, 0.99),
+                    num_keys: int = 400,
+                    num_cns: int = 4,
+                    seed: Optional[int] = None) -> List[Dict]:
+    """Sync-mode contention sweep: the optimistic/pessimistic crossover.
+
+    Drives CHIME through write-heavy YCSB A on a deliberately dense
+    keyspace (*num_keys* is fixed, not scaled: per-leaf write contention
+    is the variable under study) while sweeping client count under
+    moderate and heavy Zipf skew, once per lock synchronization mode
+    (see :mod:`repro.core.adaptive`).  Leases are forced on — the queue
+    carries the lease for crash recovery, so this is the configuration
+    the robustness machinery actually runs with.
+
+    Expected shape: at the uncontended end the optimistic CAS costs one
+    verb where the ticket queue costs three, so ``optimistic`` wins; as
+    clients pile onto the same leaves the spinners' atomics congest the
+    MN NIC that every holder's data path also needs, and ``pessimistic``
+    (FIFO tickets + CN-local delegation) overtakes it.  ``adaptive``
+    should track the better of the two at both extremes and can beat
+    both in between, since it picks per leaf.
+    """
+    scale = scale or current_scale()
+    specs = [
+        PointSpec("chime", "A", num_keys, scale.ops_per_client,
+                  replace(scale.cluster_config(clients=clients,
+                                               num_cns=num_cns,
+                                               sync_mode=mode,
+                                               seed=seed),
+                          lock_leases=True),
+                  chime_overrides=scale.chime_overrides(),
+                  theta=theta,
+                  extra=(("sync_mode", mode), ("theta", theta)))
+        for mode in sync_modes
+        for theta in thetas
+        for clients in client_sweep
     ]
     return sweep_rows(specs)
 

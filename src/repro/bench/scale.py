@@ -31,6 +31,19 @@ from repro.config import (
 )
 from repro.rdma.nic import NicSpec
 
+#: Environment variable selecting the lock sync mode for CLI runs
+#: (the ``--sync-mode`` analogue of ``REPRO_DEPTH``; see
+#: :mod:`repro.core.adaptive`).
+SYNC_MODE_ENV = "REPRO_SYNC_MODE"
+
+
+def _resolve_sync_mode(sync_mode: Optional[str]) -> str:
+    """Explicit argument > ``REPRO_SYNC_MODE`` > the optimistic default."""
+    if sync_mode is not None:
+        return sync_mode
+    env = os.environ.get(SYNC_MODE_ENV, "").strip().lower()
+    return env or "optimistic"
+
 
 @dataclass(frozen=True)
 class Scale:
@@ -76,7 +89,8 @@ class Scale:
                        cache_bytes: Optional[int] = -1,
                        num_mns: Optional[int] = None,
                        num_cns: int = 2,
-                       seed: Optional[int] = None) -> ClusterConfig:
+                       seed: Optional[int] = None,
+                       sync_mode: Optional[str] = None) -> ClusterConfig:
         """A cluster config for one run (``cache_bytes=-1`` = preset)."""
         total_clients = clients if clients is not None else self.clients
         per_cn = max(1, total_clients // num_cns)
@@ -88,6 +102,7 @@ class Scale:
             cache_bytes=budget,
             region_bytes=1 << 27,
             mn_nic=self.nic_spec(),
+            sync_mode=_resolve_sync_mode(sync_mode),
             seed=seed if seed is not None else self.seed,
         )
 

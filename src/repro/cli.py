@@ -16,7 +16,9 @@ Usage::
     python -m repro perf                              # pinned perf suite
     python -m repro perf --check --tolerance 0.5
     python -m repro trace --index chime --workload C --out trace.json
+    python -m repro run skew-sync --sync-mode adaptive   # lock-mode sweep
     python -m repro chaos --crash cn0/c0:lock --seed 7
+    python -m repro chaos --sync-mode pessimistic --crash cn0/c0:lock
     python -m repro chaos --no-leases --crash cn0/c0:lock
     python -m repro chaos --loss 0.01 --delay 0.05 --outage 0:100us:300us
     python -m repro campaign run --indexes chime,sherman --seeds 3
@@ -48,6 +50,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.bench import PRESETS, Scale
 from repro.bench.report import format_table
 from repro.bench import experiments as exp
+from repro.core.adaptive import SYNC_MODES
 
 #: Figure name -> (experiment callable, wants_scale).
 EXPERIMENTS: Dict[str, tuple] = {
@@ -78,6 +81,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "ablation-locks": (exp.ablation_local_lock_table, True),
     "ablation-torn": (exp.ablation_torn_writes, True),
     "ablation-write-amp": (exp.ablation_write_amplification, True),
+    "skew-sync": (exp.skew_sync_sweep, True),
 }
 
 
@@ -171,6 +175,13 @@ def _cmd_run(args) -> int:
         # from the environment (via repro.sched.resolve_depth), so one
         # flag covers every point the selected figures run.
         os.environ["REPRO_DEPTH"] = str(args.depth)
+    if args.sync_mode is not None:
+        # Same pattern again: Scale.cluster_config reads the lock mode
+        # from the environment (via repro.bench.scale._resolve_sync_mode),
+        # so one flag covers every point — and sweep worker processes
+        # inherit it.
+        from repro.bench.scale import SYNC_MODE_ENV
+        os.environ[SYNC_MODE_ENV] = args.sync_mode
 
     recorder = None
     if args.trace:
@@ -220,7 +231,8 @@ def _cmd_trace(args) -> int:
               f"choose from {', '.join(sorted(WORKLOADS))}", file=sys.stderr)
         return 2
     scale = _apply_seed(PRESETS[args.scale], args.seed)
-    config = scale.cluster_config(clients=args.clients)
+    config = scale.cluster_config(clients=args.clients,
+                                  sync_mode=args.sync_mode)
     try:
         family = get_family(args.index)
         with obs.recording() as recorder:
@@ -332,6 +344,8 @@ def _cmd_chaos(args) -> int:
     from repro.faults import ChaosConfig, run_chaos
 
     overrides: dict = {"seed": args.seed, "lock_leases": not args.no_leases}
+    if args.sync_mode is not None:
+        overrides["sync_mode"] = args.sync_mode
     if args.crash is not None:
         if args.crash:
             try:
@@ -417,7 +431,8 @@ def _campaign_plan(args):
     cells = tuple(
         CellSpec(index, workload, count, depth=args.depth,
                  value_size=args.value_size, theta=args.theta,
-                 span=args.span, neighborhood=args.neighborhood)
+                 span=args.span, neighborhood=args.neighborhood,
+                 sync_mode=args.sync_mode)
         for index in indexes
         for workload in workloads
         for count in clients)
@@ -581,6 +596,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                             help="op coroutines per client "
                                  "(default: $REPRO_DEPTH or 1 = the "
                                  "strictly serial client loop)")
+    run_parser.add_argument("--sync-mode", default=None,
+                            choices=SYNC_MODES,
+                            help="lock synchronization mode "
+                                 "(default: $REPRO_SYNC_MODE or "
+                                 "optimistic)")
 
     trace_parser = sub.add_parser(
         "trace", help="trace one workload point (spans + metrics)")
@@ -601,6 +621,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                               metavar="D",
                               help="op coroutines per client (default: "
                                    "$REPRO_DEPTH or 1)")
+    trace_parser.add_argument("--sync-mode", default=None,
+                              choices=SYNC_MODES,
+                              help="lock synchronization mode "
+                                   "(default: $REPRO_SYNC_MODE or "
+                                   "optimistic)")
     trace_parser.add_argument("--out", default=None, metavar="PATH",
                               help="write Chrome trace-event JSON here")
     perf_parser = sub.add_parser(
@@ -650,6 +675,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     chaos_parser.add_argument("--depth", type=int, default=None,
                               metavar="D",
                               help="op coroutines per client (default: 1)")
+    chaos_parser.add_argument("--sync-mode", default=None,
+                              choices=SYNC_MODES,
+                              help="lock synchronization mode "
+                                   "(default: optimistic)")
 
     campaign_parser = sub.add_parser(
         "campaign",
@@ -687,6 +716,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                       help="zipf skew for A-style workloads")
     crun.add_argument("--span", type=int, default=None)
     crun.add_argument("--neighborhood", type=int, default=None)
+    crun.add_argument("--sync-mode", default="optimistic",
+                      choices=SYNC_MODES,
+                      help="lock synchronization mode pinned per point "
+                           "(default: optimistic)")
     crun.add_argument("--seeds", type=int, default=3, metavar="N",
                       help="replicates per cell (default: 3)")
     crun.add_argument("--seed-base", type=int, default=None, metavar="S",

@@ -36,6 +36,13 @@ class ComputeNode:
             Nic(engine, config.cn_nic, name=f"cn{cn_id}")
             if config.cn_nic is not None else None)
         self._local_locks: Dict[int, Lock] = {}
+        #: CN-local delegation table for pessimistic/adaptive sync:
+        #: lock_addr -> :class:`repro.core.adaptive.DelegationEntry`.
+        #: Releasing holders park a handoff token here when same-CN
+        #: waiters are queued on the local lock table, so the waiter
+        #: skips the remote FAA + polling.  Entries are created lazily
+        #: by the lock path (kept untyped here to avoid a core import).
+        self.delegation: Dict[int, object] = {}
         self.clients: List[ClientContext] = []
         for client_id in range(config.clients_per_cn):
             self.clients.append(ClientContext(self, client_id, mns))

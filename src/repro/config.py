@@ -56,6 +56,12 @@ class ClusterConfig:
     #: exceed the longest lock hold time (including a leaf split), or
     #: live holders raise :class:`~repro.errors.LockLeaseExpiredError`.
     lease_duration: float = 200e-6
+    #: Lock synchronization mode: ``optimistic`` (the historical masked-
+    #: CAS spin, default), ``pessimistic`` (CIDER-style FIFO ticket queue
+    #: acquired with one FAA, with CN-local delegation handoff), or
+    #: ``adaptive`` (per-leaf auto-switch on a decaying CAS-failure-rate
+    #: estimator; see :mod:`repro.core.adaptive`).
+    sync_mode: str = "optimistic"
     #: Outstanding op coroutines ("lanes") per client — DEX-style
     #: coroutine depth.  1 (the default) is the historical strictly
     #: serial client loop, event-for-event; higher depths overlap that

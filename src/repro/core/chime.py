@@ -5,7 +5,12 @@ B+-tree internal nodes (shared machinery in
 paper's three techniques:
 
 * three-level optimistic synchronization — readers run the NV / EV /
-  bitmap checks of :mod:`repro.core.sync` and retry on torn states;
+  bitmap checks of :mod:`repro.core.sync` and retry on torn states
+  (under ``sync_mode`` pessimistic/adaptive, writers instead acquire
+  the leaf through the CIDER-style ticket queue of
+  :mod:`repro.core.adaptive`; the lock/unlock call sites here are
+  mode-agnostic — :meth:`BTreeClientBase._lock` and
+  ``_unlock_writes`` route to the queued path internally);
 * access-aggregated metadata management — the vacancy bitmap and
   ``argmax_keys`` ride in the 8-byte lock word (acquired via masked-CAS,
   rewritten by the combined unlocking WRITE), and leaf metadata is

@@ -79,6 +79,22 @@ def unpack_lease(word: int) -> Tuple[int, int, int]:
     return owner, epoch, expiry_us
 
 
+#: Pessimistic (CIDER-style) ticket queue: two words behind the lease in
+#: the same lock cache line.  Offset 32 is the next-ticket dispenser —
+#: arriving waiters claim a position with one FAA; offset 40 is the
+#: now-serving counter — advanced by the releasing holder's unlock batch,
+#: or CAS'd forward by survivors dropping a dead waiter's ticket.  Both
+#: words are zero on fresh nodes (node writers only touch the first 24
+#: lock-line bytes), so every queue starts empty.  The serving holder
+#: stamps the *existing* lease word at offset 24, which is how the queue
+#: carries (owner, epoch, expiry) for CN-crash recovery.
+LOCK_TICKET_OFFSET = 32
+LOCK_SERVING_OFFSET = 40
+#: Lock-line bytes a queued waiter polls in one READ: metadata word,
+#: fence keys, lease, ticket dispenser, and serving counter.
+LOCK_QUEUE_SPAN = LOCK_SERVING_OFFSET + 8
+
+
 def sim_us(now: float) -> int:
     """Simulated seconds -> the microsecond tick leases are stamped in."""
     return int(now * 1e6)

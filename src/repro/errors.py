@@ -76,6 +76,18 @@ class OperationTimeoutError(ReproError):
     """
 
 
+class QueueWaitTimeoutError(RetryExhaustedError):
+    """A pessimistic-mode waiter exhausted its budget while queued.
+
+    With CIDER-style ticket locking enabled (``--sync-mode pessimistic``
+    or ``adaptive``), a client that takes a queue ticket but never
+    becomes the serving holder within its :class:`repro.retry.RetryPolicy`
+    budget raises this instead of polling forever.  The abandoned ticket
+    is dropped by later waiters (lease mode) or reported as stranded by
+    the chaos harness.
+    """
+
+
 class LockLeaseExpiredError(ReproError):
     """A lock holder outlived its own lease.
 

@@ -37,7 +37,7 @@ from repro.faults.invariants import InvariantReport, check_tree_invariants
 from repro.faults.plan import FaultPlan
 from repro.obs import recording
 from repro.retry import DEFAULT_RETRY_POLICY
-from repro.sched import LaneContext, resolve_depth
+from repro.sched import LaneContext, resolve_depth, stranded_tickets
 from repro.workloads.ycsb import dataset
 
 __all__ = ["ChaosConfig", "ChaosResult", "build_plan", "run_chaos"]
@@ -60,6 +60,10 @@ class ChaosConfig:
     # Recovery knobs.
     lock_leases: bool = True
     lease_duration: float = 200e-6
+    #: Lock synchronization mode (see :mod:`repro.core.adaptive`):
+    #: "optimistic" (masked-CAS spin), "pessimistic" (FIFO ticket
+    #: queue), or "adaptive" (per-leaf auto-switch).
+    sync_mode: str = "optimistic"
     # Retry policy (None deadline = attempts-bounded only).
     max_attempts: int = 256
     deadline: Optional[float] = None
@@ -102,6 +106,9 @@ class ChaosResult:
     invariants: InvariantReport = field(default_factory=InvariantReport)
     #: Coroutines parked at a verb by their CN's death, per qp owner.
     parked: Dict[str, int] = field(default_factory=dict)
+    #: Queue tickets left outstanding by parked waiters (pessimistic/
+    #: adaptive sync only; see :func:`repro.sched.stranded_tickets`).
+    stranded_tickets: List[Dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -119,6 +126,7 @@ class ChaosResult:
             "metrics": dict(sorted(self.metrics.items())),
             "invariants": self.invariants.to_dict(),
             "parked": dict(sorted(self.parked.items())),
+            "stranded_tickets": list(self.stranded_tickets),
         }
 
 
@@ -206,6 +214,7 @@ def run_chaos(cfg: ChaosConfig) -> ChaosResult:
         num_cns=cfg.num_cns, num_mns=cfg.num_mns,
         clients_per_cn=cfg.clients_per_cn,
         lock_leases=cfg.lock_leases, lease_duration=cfg.lease_duration,
+        sync_mode=cfg.sync_mode,
         pipeline_depth=cfg.pipeline_depth,
         seed=cfg.seed)
     # Explicit depth: a ChaosConfig maps to exactly one ChaosResult, so
@@ -236,7 +245,10 @@ def run_chaos(cfg: ChaosConfig) -> ChaosResult:
                     name=f"chaos-{lane_ctx.name}")
         cluster.run()
         expected = set(k for k, _ in pairs) | set(inserted)
-        invariants = check_tree_invariants(index, expected_keys=expected)
+        dead = sorted(injector.dead_cns)
+        invariants = check_tree_invariants(index, expected_keys=expected,
+                                           dead_cns=dead)
+        stranded = stranded_tickets(index, dead)
         metrics = rec.notes()
     errors.sort(key=lambda e: e["client"])
     return ChaosResult(
@@ -245,9 +257,10 @@ def run_chaos(cfg: ChaosConfig) -> ChaosResult:
         completed=completed,
         errors=errors,
         inserted=len(set(inserted)),
-        dead_cns=sorted(injector.dead_cns),
+        dead_cns=dead,
         fault_counters=dict(sorted(injector.counters.items())),
         metrics=metrics,
         invariants=invariants,
         parked=dict(sorted(injector.parked.items())),
+        stranded_tickets=stranded,
     )

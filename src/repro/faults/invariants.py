@@ -23,6 +23,9 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.core.node_layout import (
     LOCK_LEASE_OFFSET,
+    LOCK_QUEUE_SPAN,
+    LOCK_SERVING_OFFSET,
+    LOCK_TICKET_OFFSET,
     sim_us,
     unpack_lease,
     unpack_lock_word,
@@ -84,19 +87,27 @@ def _leftmost_leaf(index) -> int:
 
 
 def check_tree_invariants(index,
-                          expected_keys: Optional[Iterable[int]] = None
+                          expected_keys: Optional[Iterable[int]] = None,
+                          dead_cns: Iterable[int] = ()
                           ) -> InvariantReport:
     """Verify *index* (a :class:`~repro.core.chime.ChimeIndex`) host-side.
 
     *expected_keys* are keys known committed (bulk-loaded plus inserts
     whose operation returned before the run ended); each must be
     readable from some leaf.
+
+    *dead_cns* are compute nodes crashed during the run: a leaf ticket
+    queue with unserved tickets (``serving < next``) is then only a
+    warning — a parked waiter's last FAA can land after every survivor
+    left the queue, leaving nobody to drop it, which stalls no live
+    client — otherwise it is a violation.
     """
     report = InvariantReport()
     layout = index.leaf_layout
     engine = index.cluster.engine
     now_us = sim_us(engine.now)
     leases_on = index.cluster.config.lock_leases
+    any_dead = bool(set(dead_cns))
     addr = _leftmost_leaf(index)
     if addr == NULL_ADDR:
         report.violations.append("tree has no leaves (no root?)")
@@ -113,13 +124,14 @@ def check_tree_invariants(index,
         report.leaves += 1
         raw = index._host_read(addr, layout.raw_size)
         view = LeafNodeView(layout, StripedSpan(raw, 0))
-        line = index._host_read(addr + layout.lock_offset,
-                                LOCK_LEASE_OFFSET + 8)
+        line = index._host_read(addr + layout.lock_offset, LOCK_QUEUE_SPAN)
         locked, argmax, vacancy = unpack_lock_word(decode_u64(line, 0))
         fence_low = decode_key(line, _FENCE_LOW_OFF)
         fence_high = decode_key(line, _FENCE_HIGH_OFF)
         owner, _epoch, expiry_us = unpack_lease(
             decode_u64(line, LOCK_LEASE_OFFSET))
+        next_ticket = decode_u64(line, LOCK_TICKET_OFFSET)
+        serving = decode_u64(line, LOCK_SERVING_OFFSET)
         if locked:
             report.violations.append(
                 f"leaf {addr:#x}: lock bit still set after the run")
@@ -133,6 +145,21 @@ def check_tree_invariants(index,
                 report.violations.append(
                     f"leaf {addr:#x}: lease still held by owner {owner} "
                     f"after the run")
+        # Ticket-queue state (pessimistic/adaptive sync; both words are
+        # zero on leaves the queue never touched).
+        if serving > next_ticket:
+            report.violations.append(
+                f"leaf {addr:#x}: queue serving {serving} ran past the "
+                f"dispenser {next_ticket} (over-drained)")
+        elif serving < next_ticket:
+            message = (
+                f"leaf {addr:#x}: {next_ticket - serving} unserved queue "
+                f"ticket(s) at rest (serving {serving}, next {next_ticket})")
+            if any_dead:
+                report.warnings.append(
+                    message + " — attributable to crashed-CN waiters")
+            else:
+                report.violations.append(message)
         # Fence ordering + chaining.
         if fence_low >= fence_high:
             report.violations.append(

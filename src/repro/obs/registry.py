@@ -198,6 +198,15 @@ class MetricsCollector:
         elif kind in ("lock.steal", "lock.lease_expired", "lock.repair",
                       "lock.lease_overrun"):
             registry.counter(kind).inc()
+        elif kind == "sync.mode_switch":
+            registry.counter(kind).inc()
+            registry.counter(f"{kind}.{data['direction']}").inc()
+        elif kind == "queue.enqueue":
+            registry.counter(kind).inc()
+            registry.histogram("queue.depth", _QUEUE_BUCKETS).observe(
+                data["depth"])
+        elif kind in ("queue.handoff", "queue.drop", "queue.wait_timeout"):
+            registry.counter(kind).inc()
         elif kind.startswith("fault."):
             registry.counter(kind).inc()
         elif kind == "hopscotch.displacement":

@@ -63,6 +63,10 @@ class IndexFamily:
     accepts_overrides: bool = False
     #: Run with an uncapped CN cache (the SMART-Opt methodology).
     unlimited_cache: bool = False
+    #: ``ClusterConfig.sync_mode`` values the family's lock paths honour
+    #: (families built on the shared B-link-tree machinery support the
+    #: CIDER-style pessimistic queue and the per-leaf adaptive switch).
+    sync_modes: Tuple[str, ...] = ("optimistic",)
 
 
 _REGISTRY: Dict[str, IndexFamily] = {}
@@ -106,6 +110,12 @@ def build_index(name: str, cluster,
                 chime_overrides: Optional[dict] = None):
     """Instantiate an index by its paper legend name."""
     family = get_family(name)
+    sync_mode = getattr(cluster.config, "sync_mode", "optimistic")
+    if sync_mode not in family.sync_modes:
+        supported = ", ".join(family.sync_modes)
+        raise WorkloadError(
+            f"index family {name!r} does not support sync mode "
+            f"{sync_mode!r} (supported: {supported})")
     index = family.factory(cluster, value_size=value_size, span=span,
                            neighborhood=neighborhood,
                            overrides=chime_overrides)
@@ -178,22 +188,29 @@ def _learned_factory(cluster, *, value_size, span, neighborhood, overrides):
 # The built-in families (every legend entry of the paper's figures)
 # --------------------------------------------------------------------------
 
+#: Sync modes available to families built on the shared B-link-tree lock
+#: machinery (:mod:`repro.core.btree_base`).
+_BTREE_SYNC_MODES = ("optimistic", "pessimistic", "adaptive")
+
 register(IndexFamily(
     name="chime", family="chime", factory=_chime_factory(indirect=False),
     description="CHIME hybrid B+ tree + hopscotch leaves (this paper)",
-    supports_chaos=True, accepts_overrides=True))
+    supports_chaos=True, accepts_overrides=True,
+    sync_modes=_BTREE_SYNC_MODES))
 register(IndexFamily(
     name="chime-indirect", family="chime",
     factory=_chime_factory(indirect=True),
     description="CHIME with indirect values (variable-length KV, §4.5)",
-    indirect_values=True, accepts_overrides=True))
+    indirect_values=True, accepts_overrides=True,
+    sync_modes=_BTREE_SYNC_MODES))
 register(IndexFamily(
     name="sherman", family="sherman", factory=_sherman_factory,
-    description="Sherman B+ tree baseline (SIGMOD '22)"))
+    description="Sherman B+ tree baseline (SIGMOD '22)",
+    sync_modes=_BTREE_SYNC_MODES))
 register(IndexFamily(
     name="marlin", family="sherman", factory=_marlin_factory,
     description="Marlin: Sherman-style tree with indirect values",
-    indirect_values=True))
+    indirect_values=True, sync_modes=_BTREE_SYNC_MODES))
 register(IndexFamily(
     name="smart", family="smart", factory=_smart_factory(rcu=False),
     description="SMART adaptive radix tree baseline (OSDI '23)",

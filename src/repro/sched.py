@@ -58,8 +58,10 @@ __all__ = [
     "client_lane",
     "execute_op",
     "launch_clients",
+    "parked_by_cn",
     "resolve_depth",
     "shared_stream",
+    "stranded_tickets",
 ]
 
 #: Environment variable consulted when no explicit depth is given.
@@ -254,3 +256,21 @@ def parked_by_cn(run: ScheduledRun, cluster) -> Dict[int, int]:
             cn_id = clients[lane.client_index].cn.cn_id
             counts[cn_id] = counts.get(cn_id, 0) + 1
     return counts
+
+
+def stranded_tickets(index, dead_cns=()) -> List[Dict[str, int]]:
+    """Queue tickets still outstanding after a run (chaos diagnostics).
+
+    With pessimistic/adaptive sync, a CN crash parks its lanes at their
+    next verb — including lanes waiting in a remote ticket queue.  Their
+    tickets stay claimed on the MN; survivors drain them by CAS-advancing
+    the serving word past every dead ticket (``queue.drop`` events), and
+    this helper reports what the parked lanes left behind so the chaos
+    harness can assert the drain happened.  Each entry carries the lane's
+    CN, owner name, lock address, ticket number, and whether its CN is in
+    *dead_cns*.  Empty for optimistic-mode indexes (no ``sync_state``).
+    """
+    state = getattr(index, "sync_state", None)
+    if state is None:
+        return []
+    return state.stranded(tuple(dead_cns))

@@ -58,7 +58,8 @@ class RunSummary:
 def build_point_spec(plan: CampaignPlan, cell: CellSpec, seed: int) -> PointSpec:
     """The picklable sweep point for one (cell, seed) replicate."""
     scale = plan.scale
-    config = scale.cluster_config(clients=cell.clients, seed=seed)
+    config = scale.cluster_config(clients=cell.clients, seed=seed,
+                                  sync_mode=cell.sync_mode)
     if cell.depth != 1:
         config = config.scaled(pipeline_depth=cell.depth)
     return PointSpec(

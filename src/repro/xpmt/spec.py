@@ -50,6 +50,10 @@ RESOLVED_ENV = frozenset(
         "REPRO_JOBS",
         "REPRO_SCALE",
         "REPRO_SEED",
+        # Campaign cells pin sync_mode explicitly (a first-class payload
+        # field when non-default), so the environment knob never reaches
+        # a campaign point's cluster config.
+        "REPRO_SYNC_MODE",
     }
 )
 
@@ -99,6 +103,8 @@ class CellSpec:
     theta: float = 0.99
     span: Optional[int] = None
     neighborhood: Optional[int] = None
+    #: Lock synchronization mode (see :mod:`repro.core.adaptive`).
+    sync_mode: str = "optimistic"
 
     def label(self) -> str:
         """Compact human label used by reports and status tables."""
@@ -111,7 +117,22 @@ class CellSpec:
             text += f" s{self.span}"
         if self.neighborhood is not None:
             text += f" h{self.neighborhood}"
+        if self.sync_mode != "optimistic":
+            text += f" {self.sync_mode}"
         return text
+
+
+def _cell_payload(cell: CellSpec) -> Dict:
+    """A cell's hash payload fields.
+
+    ``sync_mode`` is omitted at its optimistic default so every spec
+    hash and auto campaign id minted before the field existed still
+    resolves to the same stored points; non-default modes re-key.
+    """
+    payload = asdict(cell)
+    if payload.get("sync_mode") == "optimistic":
+        del payload["sync_mode"]
+    return payload
 
 
 def _scale_payload(scale: Scale) -> Dict:
@@ -129,7 +150,7 @@ def spec_payload(cell: CellSpec, scale: Scale, chime_overrides: Optional[Dict] =
     """The canonical (JSON-stable) description one spec hash covers."""
     return {
         "v": SPEC_VERSION,
-        "cell": asdict(cell),
+        "cell": _cell_payload(cell),
         "scale": _scale_payload(scale),
         "chime_overrides": dict(chime_overrides) if chime_overrides else None,
         "env": relevant_env(),
@@ -165,7 +186,7 @@ class CampaignPlan:
         digest = spec_hash(
             {
                 "scale": _scale_payload(self.scale),
-                "cells": [asdict(cell) for cell in self.cells],
+                "cells": [_cell_payload(cell) for cell in self.cells],
                 "seeds": list(self.seeds),
             }
         )
@@ -176,7 +197,7 @@ class CampaignPlan:
         return {
             "name": self.name,
             "scale": _scale_payload(self.scale),
-            "cells": [asdict(cell) for cell in self.cells],
+            "cells": [_cell_payload(cell) for cell in self.cells],
             "seeds": list(self.seeds),
             "chime_overrides": dict(self.chime_overrides) or None,
         }

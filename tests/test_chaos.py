@@ -59,6 +59,45 @@ class TestCrashRecovery:
         assert result.invariants.ok, result.invariants.violations
 
 
+class TestSyncModes:
+    """The canonical crash campaign must recover in every lock mode."""
+
+    @pytest.mark.parametrize("mode", ["optimistic", "pessimistic",
+                                      "adaptive"])
+    def test_canonical_crash_recovers(self, mode):
+        result = run_chaos(dataclasses.replace(CANONICAL, sync_mode=mode))
+        assert result.dead_cns == [0]
+        assert result.errors == []
+        assert result.invariants.ok, result.invariants.violations
+        # survivors drained anything the dead CN left in a queue
+        assert all(not t["cn_dead"] for t in result.stranded_tickets)
+        if mode == "pessimistic":
+            assert result.metrics.get("obs.queue.enqueue", 0) > 0
+
+    def test_cn_crash_while_queued_is_drained_by_survivors(self):
+        """Kill the victim right after its ticket-claiming FAA: the
+        ticket is claimed on the MN but its owner is gone.  Survivors
+        watch the serving word stall, CAS it past the dead tickets
+        (``queue.drop``), and every surviving op completes."""
+        cfg = dataclasses.replace(CANONICAL, sync_mode="pessimistic",
+                                  crash_kinds=("faa",),
+                                  crash_when="after")
+        result = run_chaos(cfg)
+        assert result.dead_cns == [0]
+        assert result.errors == []
+        assert result.invariants.ok, result.invariants.violations
+        dead_tickets = [t for t in result.stranded_tickets if t["cn_dead"]]
+        assert dead_tickets, "crash-after-faa left no stranded ticket"
+        assert result.metrics.get("obs.queue.drop", 0) >= 1
+
+    @pytest.mark.parametrize("mode", ["pessimistic", "adaptive"])
+    def test_modes_are_deterministic(self, mode):
+        cfg = dataclasses.replace(CANONICAL, sync_mode=mode)
+        first = json.dumps(run_chaos(cfg).to_dict(), sort_keys=True)
+        second = json.dumps(run_chaos(cfg).to_dict(), sort_keys=True)
+        assert first == second
+
+
 class TestDeterminism:
     def test_same_seeds_give_byte_identical_results(self):
         first = json.dumps(run_chaos(CANONICAL).to_dict(), sort_keys=True)

@@ -149,6 +149,50 @@ class TestRegistry:
         assert snap["sync.torn_l3"] == 1
         assert snap["hopscotch.displacement.count"] == 1
 
+    def test_collector_folds_lock_recovery_events(self):
+        bus = EventBus()
+        collector = MetricsCollector()
+        collector.attach(bus)
+        bus.emit("lock.cas_fail", 0.0, addr=0x100, attempt=0)
+        bus.emit("lock.cas_fail", 0.0, addr=0x100, attempt=1)
+        bus.emit("lock.steal", 0.0, addr=0x100, victim=1, thief=2, epoch=3)
+        bus.emit("lock.lease_expired", 0.0, addr=0x100, owner=1, epoch=2,
+                 expired_us=10)
+        bus.emit("lock.repair", 0.0, addr=0x100)
+        bus.emit("lock.lease_overrun", 0.0, addr=0x100, epoch=2)
+        collector.detach()
+        snap = collector.registry.snapshot()
+        assert snap["lock.cas_fail"] == 2
+        assert snap["lock.steal"] == 1
+        assert snap["lock.lease_expired"] == 1
+        assert snap["lock.repair"] == 1
+        assert snap["lock.lease_overrun"] == 1
+
+    def test_collector_folds_sync_queue_events(self):
+        bus = EventBus()
+        collector = MetricsCollector()
+        collector.attach(bus)
+        bus.emit("sync.mode_switch", 0.0, addr=0x100, mode="pessimistic",
+                 direction="up")
+        bus.emit("sync.mode_switch", 0.0, addr=0x100, mode="optimistic",
+                 direction="down")
+        bus.emit("queue.enqueue", 0.0, addr=0x100, ticket=4, depth=3)
+        bus.emit("queue.handoff", 0.0, addr=0x100, ticket=4, handoffs=1)
+        bus.emit("queue.drop", 0.0, addr=0x100, ticket=2, by="cn1/c0")
+        bus.emit("queue.wait_timeout", 0.0, addr=0x100, ticket=9,
+                 attempts=32)
+        collector.detach()
+        snap = collector.registry.snapshot()
+        assert snap["sync.mode_switch"] == 2
+        assert snap["sync.mode_switch.up"] == 1
+        assert snap["sync.mode_switch.down"] == 1
+        assert snap["queue.enqueue"] == 1
+        assert snap["queue.depth.count"] == 1
+        assert snap["queue.depth.max"] == 3
+        assert snap["queue.handoff"] == 1
+        assert snap["queue.drop"] == 1
+        assert snap["queue.wait_timeout"] == 1
+
 
 def _spans_fixture():
     return [

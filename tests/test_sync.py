@@ -113,3 +113,37 @@ class TestBackoff:
         assert delays[1] > delays[0]
         assert delays[31] == delays[16]
         assert all(d > 0 for d in delays)
+
+    def test_legacy_constants_mirror_the_default_policy(self):
+        """The historical constants are aliases of the single source of
+        truth in repro.retry; their values are pinned — a change there
+        silently re-times every baseline index."""
+        from repro.core.sync import BACKOFF_CAP_ATTEMPTS, MAX_RETRIES, \
+            RETRY_BACKOFF
+        from repro.retry import DEFAULT_RETRY_POLICY
+        assert MAX_RETRIES == DEFAULT_RETRY_POLICY.max_attempts == 256
+        assert RETRY_BACKOFF == DEFAULT_RETRY_POLICY.base_backoff == 0.2e-6
+        assert BACKOFF_CAP_ATTEMPTS == DEFAULT_RETRY_POLICY.linear_cap == 16
+
+    def test_no_rng_is_byte_identical_to_historical(self):
+        assert backoff_delay(5) == backoff_delay(5, rng=None, jitter=0.5)
+
+    def test_jitter_is_bounded_and_reproducible(self):
+        import random
+        base = backoff_delay(5)
+        first = [backoff_delay(5, rng=random.Random(7), jitter=0.25)
+                 for _ in range(1)]
+        second = [backoff_delay(5, rng=random.Random(7), jitter=0.25)
+                  for _ in range(1)]
+        assert first == second  # seeded rng -> reproducible
+        rng = random.Random(3)
+        for _ in range(100):
+            delay = backoff_delay(5, rng=rng, jitter=0.25)
+            assert 0.75 * base <= delay <= 1.25 * base
+
+    def test_retry_policy_jitter_matches(self):
+        import random
+        from repro.retry import RetryPolicy
+        policy = RetryPolicy(jitter=0.25)
+        assert policy.delay(5, rng=random.Random(7)) == \
+            backoff_delay(5, rng=random.Random(7), jitter=0.25)
