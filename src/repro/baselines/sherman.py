@@ -45,7 +45,8 @@ from repro.layout import (
     pack_version,
     unpack_version,
 )
-from repro.layout.versions import bump_nibble, raw_size
+from repro.layout import versions
+from repro.layout.versions import LINE, bump_nibble, raw_size
 from repro.memory import NULL_ADDR
 from repro.memory.region import CACHE_LINE
 
@@ -91,6 +92,15 @@ class ShermanLeafLayout:
         self.off_fence_low = 4
         self.off_fence_high = 4 + key_size
         self.off_sibling = 4 + 2 * key_size
+        # Logical offset of every entry's leading version byte — the
+        # consistency check reads all of them on every leaf fetch — and
+        # the matching raw offsets for full-image (base 0) views, which
+        # let the check scan the buffer without extracting the payload.
+        self.entry_version_offsets = tuple(
+            self.header_size + index * self.entry_size
+            for index in range(span))
+        self.entry_version_raw_offsets = tuple(
+            versions.raw_of(off) for off in self.entry_version_offsets)
 
     def entry_offset(self, index: int) -> int:
         return self.header_size + index * self.entry_size
@@ -191,12 +201,17 @@ class ShermanLeafView:
         return self.span.sub_span(self.layout.entry_offset(index),
                                   self.layout.entry_size)
 
+    def entry_key(self, index: int) -> int:
+        """Just the key of one entry — skips the value decode."""
+        return decode_key(self.span.read_logical(
+            self.layout.entry_offset(index) + 1, self.layout.key_size))
+
     def find(self, key: int) -> Optional[int]:
         """Binary search the sorted entries; returns the index or None."""
         lo, hi = 0, self.count - 1
         while lo <= hi:
             mid = (lo + hi) // 2
-            mid_key, _ = self.entry(mid)
+            mid_key = self.entry_key(mid)
             if mid_key == key:
                 return mid
             if mid_key < key:
@@ -212,14 +227,28 @@ class ShermanLeafView:
         payload = self.span.read_logical(0, layout.logical_size)
         values = self.span.nv_nibbles()
         values.append((payload[layout.OFF_VERSION] >> 4) & 0xF)
-        header = layout.header_size
-        entry = layout.entry_size
-        values.extend((payload[header + index * entry] >> 4) & 0xF
-                      for index in range(layout.span))
+        values.extend([(payload[off] >> 4) & 0xF
+                       for off in layout.entry_version_offsets])
         return values
 
     def is_consistent(self) -> bool:
-        return len(set(self.nv_values())) <= 1
+        span = self.span
+        if span.base != 0:
+            return len(set(self.nv_values())) <= 1
+        # Full-image fast path: scan NV nibbles straight off the raw
+        # buffer — no payload extraction, no intermediate lists.  Runs
+        # once per fetched leaf, over every line and entry version byte.
+        data = span.data
+        first = data[0] >> 4
+        for pos in range(LINE, len(data), LINE):
+            if data[pos] >> 4 != first:
+                return False
+        if data[1] >> 4 != first:  # header version byte (raw offset 1)
+            return False
+        for pos in self.layout.entry_version_raw_offsets:
+            if data[pos] >> 4 != first:
+                return False
+        return True
 
 
 class ShermanIndex(BTreeIndexBase):

@@ -32,7 +32,7 @@ from repro.core.sync import MAX_RETRIES, backoff_delay
 from repro.errors import IndexError_, LayoutError
 from repro.layout import decode_key, decode_value, encode_key, encode_value
 from repro.memory import ChunkAllocator, NULL_ADDR, addr_mn
-from repro.memory.region import CACHE_LINE
+from repro.memory.region import CACHE_LINE, addr_offset, make_addr
 
 #: Slot word format: [63]=occupied, [62]=leaf, [59..61]=node type,
 #: [56]=seal, [48..55]=partial key byte, [0..47]=compressed address.
@@ -49,7 +49,6 @@ _COMPRESSED_OFFSET_BITS = 40
 
 
 def _compress_addr(addr: int) -> int:
-    from repro.memory.region import addr_mn, addr_offset
     mn_id = addr_mn(addr)
     offset = addr_offset(addr)
     if mn_id >= (1 << 8) or offset >= (1 << _COMPRESSED_OFFSET_BITS):
@@ -58,7 +57,6 @@ def _compress_addr(addr: int) -> int:
 
 
 def _expand_addr(compressed: int) -> int:
-    from repro.memory.region import make_addr
     mn_id = compressed >> _COMPRESSED_OFFSET_BITS
     offset = compressed & ((1 << _COMPRESSED_OFFSET_BITS) - 1)
     return make_addr(mn_id, offset)

@@ -1,0 +1,491 @@
+"""Deterministic space-partitioned execution of ONE run across processes.
+
+Sweeps already fan out over processes (:mod:`repro.bench.parallel`), but
+a single big run historically used one core.  This module splits one
+run's **CN/MN pairs** across ``N`` partition processes using a
+conservative lookahead-window protocol:
+
+* Every partition holds a full mirror of the cluster and advances the
+  simulation in lockstep **windows**.  The window length is derived from
+  the NIC latency floor (``min`` one-way latency of the CN/MN NIC specs,
+  scaled by :data:`WINDOW_FACTOR_ENV`): no cross-partition interaction —
+  every RDMA verb crosses a NIC — can affect a peer partition earlier
+  than one NIC latency after it was issued, so a partition may safely
+  simulate ``lookahead`` seconds past the last barrier before it must
+  synchronize.  Each window ends at a **barrier timestamp** where the
+  partitions exchange their engine fingerprints ``(now,
+  events_processed, sequence)``; because the per-partition event streams
+  only interact through those explicitly exchanged verb timings, the
+  fingerprints must agree exactly at every barrier — any divergence
+  aborts the run with :class:`PartitionMismatchError` instead of
+  silently merging skewed results.
+
+* Metric collection is **partition-authoritative**: partition ``k`` owns
+  the CN/MN pairs whose id satisfies ``id % N == k`` and is the only
+  partition whose measurements of those clients survive the merge.
+  Latency samples are recorded as ``(global_slot, value)`` pairs — the
+  slot is the sample's position in the global completion order — so the
+  coordinator reassembles the exact serial latency list by slot,
+  independent of which partition contributed which sample.  Traffic,
+  completed-op, and cache counters merge by summation over the disjoint
+  ownership sets.
+
+The protocol is conservative (never speculates, never rolls back), so a
+partitioned run is **event-sequence identical** to the serial run by
+construction, and the barrier cross-checks prove it on every window:
+``run --partitions N`` produces byte-identical results for any ``N``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.metrics import RunResult
+from repro.bench.runner import prepare_point
+from repro.rdma.ops import TrafficStats
+from repro.sched import launch_clients, resolve_depth
+
+__all__ = [
+    "PARTITIONS_ENV",
+    "WINDOW_FACTOR_ENV",
+    "PartitionMismatchError",
+    "resolve_partitions",
+    "run_chaos_partitioned",
+    "run_point_partitioned",
+    "window_seconds",
+]
+
+#: Environment variable consulted when ``partitions`` is not explicit
+#: (the ``run --partitions N`` flag exports it, mirroring ``--jobs``).
+PARTITIONS_ENV = "REPRO_PARTITIONS"
+
+#: Lookahead windows per barrier: the window is ``NIC latency floor x
+#: this factor``.  Larger factors mean fewer barriers (less IPC); the
+#: protocol stays exact for any value because windows end at barrier
+#: timestamps every partition computes identically.
+WINDOW_FACTOR_ENV = "REPRO_PARTITION_WINDOW"
+DEFAULT_WINDOW_FACTOR = 256
+
+
+class PartitionMismatchError(RuntimeError):
+    """Partition engines diverged — determinism was violated somewhere."""
+
+
+def resolve_partitions(partitions: Optional[int] = None) -> int:
+    """Partition count to use: explicit > ``REPRO_PARTITIONS`` > 1."""
+    if partitions is None:
+        env = os.environ.get(PARTITIONS_ENV, "").strip()
+        if env:
+            try:
+                partitions = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{PARTITIONS_ENV} must be an integer: {env!r}")
+    if partitions is None:
+        partitions = 1
+    partitions = int(partitions)
+    if partitions < 1:
+        raise ValueError(f"partitions must be >= 1, got {partitions}")
+    return partitions
+
+
+def window_seconds(config) -> float:
+    """The lookahead window for *config*: NIC latency floor x factor."""
+    floors = [config.mn_nic.latency]
+    if getattr(config, "cn_nic", None) is not None:
+        floors.append(config.cn_nic.latency)
+    factor = DEFAULT_WINDOW_FACTOR
+    env = os.environ.get(WINDOW_FACTOR_ENV, "").strip()
+    if env:
+        try:
+            factor = max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"{WINDOW_FACTOR_ENV} must be an integer: {env!r}")
+    return min(floors) * factor
+
+
+# -- partition-authoritative bookkeeping -------------------------------------
+
+
+class _Sink:
+    """Latency recorder for one client: global slot, partition-owned keep.
+
+    Quacks like the ``latencies`` list :func:`repro.sched.client_lane`
+    appends to.  Every append advances the shared global slot counter
+    (all partitions count identically); only samples from owned clients
+    are retained, tagged with their slot so the coordinator can
+    reassemble the exact serial ordering.
+    """
+
+    __slots__ = ("_slot", "_samples", "_mine")
+
+    def __init__(self, slot: List[int], samples: List[Tuple[int, float]],
+                 mine: bool) -> None:
+        self._slot = slot
+        self._samples = samples
+        self._mine = mine
+
+    def append(self, value: float) -> None:
+        cell = self._slot
+        slot = cell[0]
+        cell[0] = slot + 1
+        if self._mine:
+            self._samples.append((slot, value))
+
+
+class _Cell:
+    """Completed-op cell: mirrors the global count, tallies owned ops."""
+
+    __slots__ = ("_total", "_owned", "_mine")
+
+    def __init__(self, total: List[int], owned: List[int],
+                 mine: bool) -> None:
+        self._total = total
+        self._owned = owned
+        self._mine = mine
+
+    def __getitem__(self, index: int) -> int:
+        return self._total[index]
+
+    def __setitem__(self, index: int, value: int) -> None:
+        if self._mine:
+            self._owned[0] += value - self._total[index]
+        self._total[index] = value
+
+
+class _ReplicaBooks:
+    """The ``books`` hook :func:`repro.sched.launch_clients` accepts.
+
+    *owned* flags each client index (precomputed from CN ownership:
+    ``cn_id % partitions == partition``).
+    """
+
+    def __init__(self, owned: Sequence[bool]) -> None:
+        self.owned = list(owned)
+        self.slot: List[int] = [0]
+        self.samples: List[Tuple[int, float]] = []
+        self.owned_ops: List[int] = [0]
+
+    def for_client(self, client_index: int, run) -> Tuple[_Sink, _Cell]:
+        mine = self.owned[client_index]
+        return (_Sink(self.slot, self.samples, mine),
+                _Cell(run.completed, self.owned_ops, mine))
+
+
+# -- worker side -------------------------------------------------------------
+
+
+def _barrier(conn, record: Tuple) -> None:
+    """One lockstep exchange: send our fingerprint, wait for the verdict."""
+    conn.send(("barrier", record))
+    reply = conn.recv()
+    if reply != "go":
+        raise PartitionMismatchError(str(reply[1]))
+
+
+def _drive_windowed(cluster, window: float, conn) -> None:
+    """Advance the cluster window by window, fingerprinting at barriers.
+
+    Each window covers ``[next event, next event + window]`` so every
+    window processes at least one event and sparse stretches of
+    simulated time cost one barrier, not many.  ``clamp=False`` leaves
+    the clock on the last processed event, so the chopped run ends at
+    exactly the serial run's final timestamp.  Driving through
+    :meth:`Cluster.run` keeps the observability hook behavior identical
+    to the serial path.
+    """
+    engine = cluster.engine
+    seq = 0
+    while True:
+        next_time = engine.peek_time()
+        if next_time is None:
+            break
+        cluster.run(until=next_time + window, clamp=False)
+        seq += 1
+        _barrier(conn, (seq, engine.now, engine.events_processed,
+                        engine._sequence, False))
+    _barrier(conn, (seq + 1, engine.now, engine.events_processed,
+                    engine._sequence, True))
+
+
+def _point_replica(conn, payload: Dict, partition: int,
+                   partitions: int) -> Dict:
+    """Worker body for one ``run_point``-shaped partitioned run."""
+    cluster, index, context = prepare_point(**payload["point"])
+    engine = cluster.engine
+    depth = resolve_depth(payload["depth"], cluster.config)
+    ops_per_client = payload["ops_per_client"]
+    warmup = int(ops_per_client * payload["warmup_fraction"])
+
+    clients = list(cluster.clients())
+    owned_clients = [ctx.cn.cn_id % partitions == partition
+                     for ctx in clients]
+    owned_cns = [cn for cn in cluster.cns
+                 if cn.cn_id % partitions == partition]
+    books = _ReplicaBooks(owned_clients)
+    traffic_before = [ctx.qp.stats.snapshot() for ctx in clients]
+    cache_before = [(cn.cache.hits, cn.cache.misses) for cn in owned_cns]
+    start_time = engine.now
+
+    run = launch_clients(cluster, index, context, ops_per_client, warmup,
+                         depth=depth, books=books)
+    _drive_windowed(cluster, window_seconds(cluster.config), conn)
+
+    traffic = TrafficStats()
+    for ctx, before, mine in zip(clients, traffic_before, owned_clients):
+        if mine:
+            traffic.merge(ctx.qp.stats.delta(before))
+    hits = sum(cn.cache.hits - before[0]
+               for cn, before in zip(owned_cns, cache_before))
+    misses = sum(cn.cache.misses - before[1]
+                 for cn, before in zip(owned_cns, cache_before))
+    return {
+        "partition": partition,
+        "events": engine.events_processed,
+        "now": engine.now,
+        "sequence": engine._sequence,
+        "elapsed": engine.now - start_time,
+        "samples": books.samples,
+        "owned_ops": books.owned_ops[0],
+        "total_ops": run.ops_completed,
+        "total_samples": books.slot[0],
+        "lanes_parked": run.lanes_parked,
+        "traffic": traffic,
+        "hits": hits,
+        "misses": misses,
+        "cache_bytes": sum(cn.cache.bytes_used for cn in owned_cns),
+        "num_clients": cluster.total_clients,
+    }
+
+
+def _chaos_replica(conn, payload: Dict, partition: int,
+                   partitions: int) -> Dict:
+    """Worker body for one partitioned chaos campaign.
+
+    Chaos results are a single JSON-stable dict, so the partitions run
+    the full mirrored campaign under the windowed drive (every barrier
+    cross-checked as usual) and the coordinator verifies the result
+    dicts agree byte for byte.
+    """
+    from repro.faults import ChaosConfig, run_chaos
+
+    cfg = ChaosConfig(**payload["config"])
+
+    def drive(cluster):
+        _drive_windowed(cluster, window_seconds(cluster.config), conn)
+
+    result = run_chaos(cfg, drive=drive)
+    return {"partition": partition, "result": result.to_dict()}
+
+
+_REPLICAS = {"point": _point_replica, "chaos": _chaos_replica}
+
+
+def _partition_main(conn, kind: str, payload: Dict, partition: int,
+                    partitions: int) -> None:
+    """Process entry point (module-level so it pickles under spawn)."""
+    try:
+        final = _REPLICAS[kind](conn, payload, partition, partitions)
+        conn.send(("final", final))
+    except PartitionMismatchError:
+        pass  # the coordinator already knows; it raised the abort
+    except BaseException as exc:  # surface worker crashes, don't hang
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+    finally:
+        conn.close()
+
+
+# -- coordinator side --------------------------------------------------------
+
+
+def _abort(conns, workers, detail: str) -> None:
+    for conn in conns:
+        try:
+            conn.send(("abort", detail))
+        except OSError:
+            pass
+    for worker in workers:
+        worker.join(timeout=5)
+        if worker.is_alive():
+            worker.terminate()
+    raise PartitionMismatchError(detail)
+
+
+def _coordinate(kind: str, payload: Dict, partitions: int) -> List[Dict]:
+    """Spawn the partition processes and run the barrier protocol.
+
+    Returns the per-partition final payloads (partition order).  Raises
+    :class:`PartitionMismatchError` the moment any barrier fingerprint
+    disagrees across partitions.
+    """
+    ctx = multiprocessing.get_context()
+    conns = []
+    workers = []
+    for k in range(partitions):
+        parent, child = ctx.Pipe()
+        worker = ctx.Process(
+            target=_partition_main,
+            args=(child, kind, payload, k, partitions),
+            name=f"repro-partition-{k}")
+        worker.start()
+        child.close()
+        conns.append(parent)
+        workers.append(worker)
+
+    finals: List[Optional[Dict]] = [None] * partitions
+    try:
+        while any(final is None for final in finals):
+            inbox = []
+            for k, conn in enumerate(conns):
+                if finals[k] is None:
+                    try:
+                        inbox.append((k, conn.recv()))
+                    except EOFError:
+                        _abort(conns, workers,
+                               f"partition {k} died mid-protocol")
+            errors = [(k, m[1]) for k, m in inbox if m[0] == "error"]
+            if errors:
+                k, detail = errors[0]
+                _abort(conns, workers, f"partition {k} failed: {detail}")
+            barriers = [(k, m[1]) for k, m in inbox if m[0] == "barrier"]
+            arrived = [(k, m[1]) for k, m in inbox if m[0] == "final"]
+            if barriers and arrived:
+                _abort(conns, workers,
+                       "partitions disagree on barrier count: "
+                       f"{[k for k, _ in arrived]} finished while "
+                       f"{[k for k, _ in barriers]} still at a barrier")
+            for k, final in arrived:
+                finals[k] = final
+            if barriers:
+                records = [record for _, record in barriers]
+                if any(record != records[0] for record in records[1:]):
+                    detail = "; ".join(
+                        f"p{k}: seq={r[0]} now={r[1]!r} events={r[2]} "
+                        f"pushes={r[3]} done={r[4]}"
+                        for k, r in barriers)
+                    _abort(conns, workers,
+                           f"barrier fingerprints diverged — {detail}")
+                for k, _ in barriers:
+                    conns[k].send("go")
+    finally:
+        for conn in conns:
+            conn.close()
+        for worker in workers:
+            worker.join(timeout=5)
+            if worker.is_alive():
+                worker.terminate()
+    return [final for final in finals if final is not None]
+
+
+def _check_finals_agree(finals: List[Dict]) -> None:
+    first = finals[0]
+    for final in finals[1:]:
+        for key in ("events", "now", "sequence", "total_ops",
+                    "total_samples", "num_clients", "lanes_parked"):
+            if final[key] != first[key]:
+                raise PartitionMismatchError(
+                    f"final {key} diverged: partition {first['partition']}"
+                    f" saw {first[key]}, partition {final['partition']} "
+                    f"saw {final[key]}")
+
+
+def run_point_partitioned(index_name: str, workload_name: str,
+                          num_keys: int, ops_per_client: int,
+                          cluster_config, partitions: int,
+                          warmup_fraction: float = 0.1,
+                          depth: Optional[int] = None,
+                          annotate: bool = True,
+                          **point_kwargs: Any) -> RunResult:
+    """Partitioned equivalent of :func:`repro.bench.runner.run_point`.
+
+    Result fields are merged from the partitions' authoritative shares
+    and are byte-identical to the serial run's.  With *annotate* (the
+    default for direct callers), the merged event count is exposed as
+    ``notes["partition.events"]`` so the perf suite can fingerprint
+    partitioned runs without holding the cluster; ``run_point``'s
+    transparent delegation disables it so partitioned summary rows stay
+    byte-identical to serial ones.
+    """
+    payload = {
+        "point": dict(point_kwargs, index_name=index_name,
+                      workload_name=workload_name, num_keys=num_keys,
+                      cluster_config=cluster_config,
+                      ops_per_client=ops_per_client),
+        "ops_per_client": ops_per_client,
+        "warmup_fraction": warmup_fraction,
+        "depth": depth,
+    }
+    finals = _coordinate("point", payload, partitions)
+    _check_finals_agree(finals)
+    first = finals[0]
+
+    samples: List[Tuple[int, float]] = []
+    traffic = TrafficStats()
+    ops = hits = misses = cache_bytes = 0
+    for final in finals:
+        samples.extend(final["samples"])
+        traffic.merge(final["traffic"])
+        ops += final["owned_ops"]
+        hits += final["hits"]
+        misses += final["misses"]
+        cache_bytes += final["cache_bytes"]
+    samples.sort()
+    slots = [slot for slot, _ in samples]
+    if slots != list(range(first["total_samples"])):
+        raise PartitionMismatchError(
+            "latency-sample ownership does not tile the global slot "
+            f"order: {len(slots)} samples for {first['total_samples']} "
+            "slots")
+    if ops != first["total_ops"]:
+        raise PartitionMismatchError(
+            f"owned op counts sum to {ops}, every partition counted "
+            f"{first['total_ops']} globally")
+
+    depth_used = resolve_depth(depth, cluster_config)
+    result = RunResult(
+        index_name=index_name,
+        workload=workload_name,
+        num_clients=first["num_clients"],
+        ops_completed=ops,
+        elapsed_seconds=first["elapsed"],
+        latencies_us=[value for _, value in samples],
+        traffic=traffic,
+        cache_bytes_used=cache_bytes,
+        cache_hit_ratio=hits / max(1, hits + misses),
+    )
+    if depth_used > 1:
+        result.notes["sched.depth"] = float(depth_used)
+        if first["lanes_parked"]:
+            result.notes["sched.lanes_parked"] = float(
+                first["lanes_parked"])
+    if annotate:
+        result.notes["partitions"] = float(partitions)
+        result.notes["partition.events"] = float(first["events"])
+    return result
+
+
+def run_chaos_partitioned(cfg, partitions: int) -> Dict:
+    """Run one chaos campaign mirrored over *partitions* processes.
+
+    Returns the campaign's ``to_dict()`` payload after verifying every
+    partition produced it byte-identically (on top of the per-window
+    engine fingerprint checks the drive performs).
+    """
+    import json
+
+    from dataclasses import asdict
+
+    payload = {"config": asdict(cfg)}
+    finals = _coordinate("chaos", payload, partitions)
+    dumped = [json.dumps(final["result"], sort_keys=True)
+              for final in finals]
+    if any(d != dumped[0] for d in dumped[1:]):
+        raise PartitionMismatchError(
+            "chaos results diverged across partitions")
+    return finals[0]["result"]

@@ -97,11 +97,11 @@ class HopscotchLeafOpsMixin:
                               key: int) -> Optional[int]:
         """Locate *key* among the entries flagged by the home bitmap."""
         layout = self.layout
-        bitmap = view.entry(home).bitmap
+        bitmap = view.entry_bitmap(home)
+        span = layout.span
         for offset in range(layout.neighborhood):
             if bitmap & (1 << offset):
-                pos = (home + offset) % layout.span
-                entry = view.entry(pos)
-                if entry.occupied and entry.key == key:
+                pos = (home + offset) % span
+                if view.entry_key(pos) == key:
                     return pos
         return None

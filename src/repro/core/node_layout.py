@@ -272,6 +272,22 @@ class LeafLayout:
             offsets = tuple(replica_size + index * entry_size
                             for index in range(self.span))
         set_attr(self, "_entry_offsets", offsets)
+        # Per-entry raw coordinates for the EV consistency check, which
+        # runs for every entry of every fetched neighborhood: the entry's
+        # raw offset (its leading version byte) and the [first, end) raw
+        # range of line version bytes covered by its span.
+        ppl = versions.PAYLOAD_PER_LINE
+        line_size = versions.LINE
+        ev_ranges = []
+        for off in offsets:
+            line = off // ppl
+            raw_off = line * line_size + 1 + (off - line * ppl)
+            last = off + entry_size - 1
+            line = last // ppl
+            raw_end = line * line_size + 2 + (last - line * ppl)
+            first_line = ((raw_off + line_size - 1) // line_size) * line_size
+            ev_ranges.append((raw_off, first_line, raw_end))
+        set_attr(self, "_entry_ev_ranges", tuple(ev_ranges))
 
     # -- positions --------------------------------------------------------------
 

@@ -27,7 +27,7 @@ from repro.layout import (
     pack_version,
     unpack_version,
 )
-from repro.layout.versions import bump_nibble
+from repro.layout.versions import LINE, bump_nibble
 from repro.memory.region import NULL_ADDR
 
 
@@ -266,21 +266,30 @@ class LeafNodeView:
 
     def entry(self, index: int) -> LeafEntry:
         layout = self.layout
-        data = self.span.read_logical(layout.entry_offset(index),
+        data = self.span.read_logical(layout._entry_offsets[index],
                                       layout.entry_size)
         return self._parse_entry(index, data, layout)
 
     @staticmethod
     def _parse_entry(index: int, data: bytes,
                      layout: LeafLayout) -> LeafEntry:
-        return LeafEntry(
-            index=index,
-            version_byte=data[0],
-            bitmap=decode_u16(data, 1),
-            key=decode_key(data, 3),
-            value=decode_value(data, 3 + layout.key_size,
-                               size=layout.value_size),
-        )
+        # Positional construction — keyword passing measurably slows the
+        # hottest parse in the simulator.
+        return LeafEntry(index, data[0], decode_u16(data, 1),
+                         decode_key(data, 3),
+                         decode_value(data, 3 + layout.key_size,
+                                      size=layout.value_size))
+
+    def entry_key(self, index: int) -> int:
+        """Just the key of one entry (0 means empty) — no LeafEntry parse."""
+        layout = self.layout
+        return decode_key(self.span.read_logical(
+            layout._entry_offsets[index] + 3, layout.key_size))
+
+    def entry_bitmap(self, index: int) -> int:
+        """Just the hopscotch bitmap word of one entry."""
+        return decode_u16(self.span.read_logical(
+            self.layout._entry_offsets[index] + 1, 2))
 
     def write_entry(self, index: int, key: int, value: int,
                     bitmap: Optional[int] = None,
@@ -323,9 +332,23 @@ class LeafNodeView:
     def entry_evs(self, index: int) -> List[int]:
         """All EV nibbles within one entry's span (for consistency checks)."""
         layout = self.layout
-        off = layout.entry_offset(index)
-        values = [self.span.payload_byte(off) & 0xF]
-        values.extend(self.span.entry_ev_nibbles(off, layout.entry_size))
+        span = self.span
+        raw_off, first, end = layout._entry_ev_ranges[index]
+        if type(span) is StripedSpan:
+            # Contiguous image covering the entry: read the nibbles
+            # straight out of the buffer via the precomputed raw
+            # coordinates (this check runs for every entry of every
+            # fetched neighborhood).
+            base = span.base
+            data = span.data
+            if raw_off >= base and end <= base + len(data):
+                values = [data[raw_off - base] & 0xF]
+                values.extend([data[pos - base] & 0xF
+                               for pos in range(first, end, LINE)])
+                return values
+        off = layout._entry_offsets[index]
+        values = [span.payload_byte(off) & 0xF]
+        values.extend(span.entry_ev_nibbles(off, layout.entry_size))
         return values
 
     def entry_nv(self, index: int) -> int:

@@ -64,12 +64,15 @@ def check_nv_uniform(nv_values: Iterable[int]) -> None:
 def check_entry_evs(view: LeafNodeView, indices: Sequence[int]) -> None:
     """Level 2: EV nibbles within each fetched entry must match."""
     for index in indices:
-        evs = set(view.entry_evs(index))
-        if len(evs) > 1:
-            if BUS.active:
-                BUS.emit("sync.torn", level=2)
-            raise TornReadError(
-                f"entry {index} entry-level versions disagree: {sorted(evs)}")
+        evs = view.entry_evs(index)
+        first = evs[0]
+        for ev in evs:
+            if ev != first:
+                if BUS.active:
+                    BUS.emit("sync.torn", level=2)
+                raise TornReadError(
+                    f"entry {index} entry-level versions disagree: "
+                    f"{sorted(set(evs))}")
 
 
 def reconstruct_bitmap(view: LeafNodeView, home: int,

@@ -208,8 +208,14 @@ def _chaos_lane(client, lane_name: str, client_name: str, ops,
                        "detail": str(exc)[:120]})
 
 
-def run_chaos(cfg: ChaosConfig) -> ChaosResult:
-    """Run one chaos campaign and check the tree afterwards."""
+def run_chaos(cfg: ChaosConfig, drive=None) -> ChaosResult:
+    """Run one chaos campaign and check the tree afterwards.
+
+    *drive*, when given, replaces the default ``cluster.run()`` engine
+    drain — the partitioned executor passes a windowed drive that stops
+    at lookahead barriers (see :mod:`repro.bench.partition`); the
+    campaign itself is oblivious to how its engine is advanced.
+    """
     cluster_config = ClusterConfig(
         num_cns=cfg.num_cns, num_mns=cfg.num_mns,
         clients_per_cn=cfg.clients_per_cn,
@@ -243,7 +249,10 @@ def run_chaos(cfg: ChaosConfig) -> ChaosResult:
                                 name, ops, completed, inserted, errors,
                                 halted),
                     name=f"chaos-{lane_ctx.name}")
-        cluster.run()
+        if drive is None:
+            cluster.run()
+        else:
+            drive(cluster)
         expected = set(k for k, _ in pairs) | set(inserted)
         dead = sorted(injector.dead_cns)
         invariants = check_tree_invariants(index, expected_keys=expected,

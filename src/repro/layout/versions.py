@@ -74,8 +74,8 @@ def raw_size(logical_size: int) -> int:
 
 def raw_of(logical_off: int) -> int:
     """Raw offset of the payload byte at *logical_off*."""
-    line, within = divmod(logical_off, PAYLOAD_PER_LINE)
-    return line * LINE + 1 + within
+    line = logical_off // PAYLOAD_PER_LINE
+    return line * LINE + 1 + (logical_off - line * PAYLOAD_PER_LINE)
 
 
 def logical_of(raw_off: int) -> int:
@@ -95,8 +95,11 @@ def raw_span(logical_off: int, logical_len: int) -> Tuple[int, int]:
     """
     if logical_len <= 0:
         raise LayoutError(f"span length must be positive: {logical_len}")
-    start = raw_of(logical_off)
-    end = raw_of(logical_off + logical_len - 1) + 1
+    line = logical_off // PAYLOAD_PER_LINE
+    start = line * LINE + 1 + (logical_off - line * PAYLOAD_PER_LINE)
+    last = logical_off + logical_len - 1
+    line = last // PAYLOAD_PER_LINE
+    end = line * LINE + 2 + (last - line * PAYLOAD_PER_LINE)
     return start, end - start
 
 
@@ -139,7 +142,8 @@ class StripedSpan:
         """Extract *length* payload bytes starting at *logical_off*."""
         data = self.data
         size = len(data)
-        line, within = divmod(logical_off, PAYLOAD_PER_LINE)
+        line = logical_off // PAYLOAD_PER_LINE
+        within = logical_off - line * PAYLOAD_PER_LINE
         start = line * LINE + 1 + within - self.base
         if start < 0 or start >= size:
             raise LayoutError(
@@ -171,8 +175,9 @@ class StripedSpan:
 
     def payload_byte(self, logical_off: int) -> int:
         """The single payload byte at *logical_off* (no bytes allocation)."""
-        line, within = divmod(logical_off, PAYLOAD_PER_LINE)
-        index = line * LINE + 1 + within - self.base
+        line = logical_off // PAYLOAD_PER_LINE
+        index = line * LINE + 1 + (logical_off - line * PAYLOAD_PER_LINE) \
+            - self.base
         if index < 0 or index >= len(self.data):
             raise LayoutError(
                 f"raw offset {index + self.base} outside span "
@@ -184,7 +189,8 @@ class StripedSpan:
         data = self.data
         size = len(data)
         total = len(payload)
-        line, within = divmod(logical_off, PAYLOAD_PER_LINE)
+        line = logical_off // PAYLOAD_PER_LINE
+        within = logical_off - line * PAYLOAD_PER_LINE
         start = line * LINE + 1 + within - self.base
         if start < 0 or start >= size:
             raise LayoutError(

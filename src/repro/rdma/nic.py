@@ -47,12 +47,26 @@ class NicSpec:
         # Cache the per-verb IOPS floor; ``service_time`` runs for every
         # simulated message.  Same float as computing it inline.
         object.__setattr__(self, "_min_service", 1.0 / self.iops)
+        # Memo table for recurring payload sizes.  Simulated traffic is
+        # dominated by a handful of fixed sizes (lock words, entry
+        # groups, leaf nodes), so lookups hit almost always; the bound
+        # keeps a pathological size-per-message workload from growing it
+        # without limit.  Not a dataclass field: identity-irrelevant,
+        # excluded from eq/hash/repr.
+        object.__setattr__(self, "_service_memo", {})
 
     def service_time(self, payload_bytes: int) -> float:
         """Service time for one message carrying *payload_bytes*."""
+        memo = self._service_memo
+        cached = memo.get(payload_bytes)
+        if cached is not None:
+            return cached
         floor = self._min_service
         transfer = (payload_bytes + WIRE_OVERHEAD) / self.bandwidth
-        return transfer if transfer > floor else floor
+        result = transfer if transfer > floor else floor
+        if len(memo) < 1024:
+            memo[payload_bytes] = result
+        return result
 
 
 class Nic:
@@ -93,7 +107,16 @@ class Nic:
         return self.tx.request(self.spec.service_time(payload_bytes))
 
     def utilization(self, elapsed: float) -> float:
-        """Fraction of *elapsed* the busier direction spent serving."""
+        """Per-lane utilization of the busier direction over *elapsed*.
+
+        Busy time is pro-rated for requests still in service at the
+        cutoff (see :meth:`QueueServer.busy_time_until`) and normalized
+        by ``spec.lanes``, so a multi-lane NIC saturating every lane
+        reports 1.0 — never more.
+        """
         if elapsed <= 0:
             return 0.0
-        return max(self.rx.busy_time, self.tx.busy_time) / elapsed
+        now = self.engine.now
+        busy = max(self.rx.busy_time_until(now), self.tx.busy_time_until(now))
+        util = busy / (elapsed * self.spec.lanes)
+        return util if util < 1.0 else 1.0

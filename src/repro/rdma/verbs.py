@@ -111,6 +111,26 @@ class RdmaQp:
         engine = self.engine
         if self._cn_nic is not None:
             yield self._cn_nic.send(0)
+        if len(requests) == 1:
+            # Single-target fast path — the overwhelmingly common case
+            # (every point read).  Identical event structure to the
+            # group path below, including the one-child AllOf wrappers,
+            # without building the intermediate target/payload lists.
+            addr, length = requests[0]
+            mn = self._mn(addr)
+            spec_latency = mn.nic.spec.latency
+            yield engine.timeout(spec_latency)
+            yield engine.all_of([mn.nic.receive(0)])
+            payload = mn.mem_read(addr, length)
+            stats = self.stats
+            stats.verbs += 1
+            stats.reads += 1
+            stats.bytes_read += length
+            yield engine.all_of([mn.nic.send(length)])
+            yield engine.timeout(spec_latency)
+            if self._cn_nic is not None:
+                yield self._cn_nic.receive(length)
+            return [payload]
         # Resolve each request's MN once; the same node serves the rx
         # charge, the memory sample, and the tx transfer below.
         targets = [(self._mn(addr), addr, length)

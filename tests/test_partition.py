@@ -1,0 +1,160 @@
+"""Tests for the space-partitioned single-run executor.
+
+The acceptance bar: a partitioned run is **byte-identical** to the
+serial run — same latency list, op count, traffic counters, cache
+stats, elapsed simulated time — for any partition count, because the
+lookahead-window protocol is conservative and every partition holds a
+deterministic mirror.  The executor also cross-checks engine
+fingerprints at every barrier, so these tests double as an end-to-end
+exercise of that protocol (a divergence would abort, not pass).
+"""
+
+import json
+
+import pytest
+
+from repro.bench.partition import (
+    PARTITIONS_ENV,
+    WINDOW_FACTOR_ENV,
+    _Cell,
+    _Sink,
+    resolve_partitions,
+    run_chaos_partitioned,
+    run_point_partitioned,
+    window_seconds,
+)
+from repro.bench.runner import run_point
+from repro.config import ClusterConfig
+
+NUM_KEYS = 300
+OPS = 30
+SEED = 11
+
+
+def _config() -> ClusterConfig:
+    return ClusterConfig(num_cns=2, clients_per_cn=2, seed=SEED)
+
+
+def _serial(workload: str = "A"):
+    return run_point("chime", workload, NUM_KEYS, OPS, _config())
+
+
+def _partitioned(partitions: int, workload: str = "A"):
+    return run_point_partitioned("chime", workload, NUM_KEYS, OPS,
+                                 _config(), partitions)
+
+
+def _observables(result):
+    return {
+        "ops": result.ops_completed,
+        "elapsed": result.elapsed_seconds,
+        "latencies": result.latencies_us,
+        "traffic": result.traffic,
+        "cache_bytes": result.cache_bytes_used,
+        "hit_ratio": result.cache_hit_ratio,
+        "clients": result.num_clients,
+    }
+
+
+class TestPartitionedIdentity:
+    @pytest.mark.parametrize("partitions", [1, 2, 4])
+    def test_partitioned_run_is_byte_identical_to_serial(self, partitions):
+        serial = _serial()
+        partitioned = _partitioned(partitions)
+        assert _observables(partitioned) == _observables(serial)
+        assert partitioned.notes["partitions"] == float(partitions)
+        assert partitioned.notes["partition.events"] > 0
+
+    def test_run_point_routes_through_partitions_argument(self):
+        serial = _serial("C")
+        via_run_point = run_point("chime", "C", NUM_KEYS, OPS, _config(),
+                                  partitions=2)
+        assert _observables(via_run_point) == _observables(serial)
+        # The transparent path must not annotate: sweep/summary rows
+        # from a partitioned run stay byte-identical to serial rows.
+        assert via_run_point.notes == serial.notes
+        assert via_run_point.summary() == serial.summary()
+
+    def test_env_var_routes_run_point(self, monkeypatch):
+        serial = _serial("C")
+        monkeypatch.setenv(PARTITIONS_ENV, "2")
+        partitioned = run_point("chime", "C", NUM_KEYS, OPS, _config())
+        assert _observables(partitioned) == _observables(serial)
+
+    def test_window_factor_does_not_change_results(self, monkeypatch):
+        serial = _serial()
+        monkeypatch.setenv(WINDOW_FACTOR_ENV, "16")
+        partitioned = _partitioned(2)
+        assert _observables(partitioned) == _observables(serial)
+
+
+class TestChaosPartitioned:
+    def test_chaos_under_two_partitions_matches_serial(self):
+        from repro.faults import ChaosConfig, run_chaos
+        cfg = ChaosConfig(seed=7, ops_per_client=20)
+        serial = run_chaos(cfg).to_dict()
+        partitioned = run_chaos_partitioned(cfg, 2)
+        assert json.dumps(partitioned, sort_keys=True) == \
+            json.dumps(serial, sort_keys=True)
+        assert partitioned["invariants"]["ok"]
+
+
+class TestResolvePartitions:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv(PARTITIONS_ENV, raising=False)
+        assert resolve_partitions() == 1
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(PARTITIONS_ENV, "4")
+        assert resolve_partitions(2) == 2
+
+    def test_env_applies(self, monkeypatch):
+        monkeypatch.setenv(PARTITIONS_ENV, "3")
+        assert resolve_partitions() == 3
+
+    def test_bad_env_raises(self, monkeypatch):
+        monkeypatch.setenv(PARTITIONS_ENV, "some")
+        with pytest.raises(ValueError):
+            resolve_partitions()
+
+    def test_below_one_raises(self):
+        with pytest.raises(ValueError):
+            resolve_partitions(0)
+
+
+class TestWindowDerivation:
+    def test_window_scales_nic_latency_floor(self, monkeypatch):
+        monkeypatch.delenv(WINDOW_FACTOR_ENV, raising=False)
+        config = _config()
+        window = window_seconds(config)
+        assert window == pytest.approx(config.mn_nic.latency * 256)
+
+    def test_window_factor_env(self, monkeypatch):
+        monkeypatch.setenv(WINDOW_FACTOR_ENV, "32")
+        config = _config()
+        assert window_seconds(config) == \
+            pytest.approx(config.mn_nic.latency * 32)
+
+
+class TestBookkeepingPrimitives:
+    def test_sink_tags_samples_with_global_slots(self):
+        slot = [0]
+        samples = []
+        owned = _Sink(slot, samples, True)
+        foreign = _Sink(slot, samples, False)
+        owned.append(1.0)     # slot 0
+        foreign.append(2.0)   # slot 1 advances but is not retained
+        owned.append(3.0)     # slot 2
+        assert slot[0] == 3
+        assert samples == [(0, 1.0), (2, 3.0)]
+
+    def test_cell_mirrors_total_and_tallies_owned(self):
+        total = [0]
+        owned = [0]
+        mine = _Cell(total, owned, True)
+        other = _Cell(total, owned, False)
+        mine[0] += 1
+        other[0] += 1
+        mine[0] += 1
+        assert total[0] == 3
+        assert owned[0] == 2
