@@ -284,6 +284,46 @@ def fig12_ycsb(scale: Optional[Scale] = None,
 
 
 # --------------------------------------------------------------------------
+# Figure 12 companion — multi-MN key-space sharding
+# --------------------------------------------------------------------------
+
+def figshard_scaleout(scale: Optional[Scale] = None,
+                      workloads: Sequence[str] = ("C", "A"),
+                      mn_sweep: Sequence[int] = (1, 2, 4),
+                      client_sweep: Optional[Sequence[int]] = None,
+                      cache_mode: str = "shared",
+                      seed: Optional[int] = None) -> List[Dict]:
+    """Aggregate throughput vs MN count under key-space sharding.
+
+    Fig-12-style client sweep repeated per MN count, with the key space
+    carved one shard per MN (see :mod:`repro.cluster.shards`).  A single
+    MN NIC is the wall once enough clients pile on; each added MN brings
+    its own NIC, so past saturation the aggregate Mops rows should scale
+    with ``num_mns`` while the low-client rows stay flat (the bottleneck
+    there is op latency, not MN bandwidth).  Only shardable families
+    run; ``cache_mode="partitioned"`` reruns the sweep under DEX-style
+    per-CN cache ownership.
+    """
+    scale = scale or current_scale()
+    sweep = client_sweep or scale.client_sweep
+    specs = [
+        PointSpec("chime", workload, scale.num_keys,
+                  scale.ops_per_client,
+                  scale.cluster_config(clients=clients, seed=seed,
+                                       num_mns=num_mns,
+                                       num_shards=num_mns,
+                                       cache_mode=cache_mode),
+                  key_space=scale.key_space,
+                  chime_overrides=scale.chime_overrides(),
+                  extra=(("num_mns", num_mns),))
+        for workload in workloads
+        for num_mns in mn_sweep
+        for clients in sweep
+    ]
+    return sweep_rows(specs)
+
+
+# --------------------------------------------------------------------------
 # Figure 13 — variable-length KV items
 # --------------------------------------------------------------------------
 

@@ -65,18 +65,31 @@ DEPTH_SWEEP_CLIENTS = 4
 #: protocol stays byte-identical to the serial engine.
 PARTITIONED_POINT = 2
 
+#: MN counts pinned for the CHIME YCSB-C shard sweep (one key-range
+#: shard per MN; see :mod:`repro.cluster.shards`), and the client count
+#: it runs at.  At :data:`PERF_SCALE` one MN NIC saturates around 16
+#: clients; the sweep pins a 24-client point past that wall, where each
+#: additional MN brings its own NIC — aggregate *simulated* Mops must
+#: rise with every MN added.
+SHARD_SWEEP_MNS = (1, 2, 4)
+SHARD_SWEEP_CLIENTS = 24
+
 
 def _perf_point(index_name: str, depth: int = 1,
-                clients: Optional[int] = None) -> Dict:
+                clients: Optional[int] = None,
+                num_mns: Optional[int] = None) -> Dict:
     """One YCSB-C point with engine-level event accounting.
 
     Mirrors ``run_point`` but keeps the cluster visible so the event
     counter can be read without polluting ``RunResult.notes`` (which
     would change every experiment's summary columns).  *depth* is the
-    pipeline depth (op coroutines per client, see :mod:`repro.sched`).
+    pipeline depth (op coroutines per client, see :mod:`repro.sched`);
+    *num_mns*, when given, shards the key space one sub-tree per MN.
     """
     scale = PERF_SCALE
-    config = scale.cluster_config(clients=clients or scale.clients)
+    config = scale.cluster_config(clients=clients or scale.clients,
+                                  num_mns=num_mns,
+                                  num_shards=num_mns)
     cluster = Cluster(config)
     family = get_family(index_name)
     index = build_index(index_name, cluster,
@@ -197,6 +210,13 @@ def run_suite(jobs: Optional[int] = None) -> Dict:
         point["depth"] = depth
         report["depth_sweep"][f"depth{depth}"] = point
 
+    report["shard_sweep"] = {"clients": SHARD_SWEEP_CLIENTS}
+    for num_mns in SHARD_SWEEP_MNS:
+        point = _perf_point("chime", clients=SHARD_SWEEP_CLIENTS,
+                            num_mns=num_mns)
+        point["num_mns"] = num_mns
+        report["shard_sweep"][f"mns{num_mns}"] = point
+
     specs = _sweep_specs()
     started = time.perf_counter()
     serial_results = run_sweep(specs, jobs=1)
@@ -257,6 +277,28 @@ def check_report(report: Dict, baseline: Dict,
                 "depth_sweep: depth=4 did not raise simulated ops/sec "
                 f"({depth1['sim_throughput_mops']} -> "
                 f"{depth4['sim_throughput_mops']})")
+    shards = report.get("shard_sweep", {})
+    base_shards = baseline.get("shard_sweep", {})
+    for key, point in shards.items():
+        if not isinstance(point, dict):
+            continue
+        base = base_shards.get(key)
+        if isinstance(base, dict) and point["events"] != base["events"]:
+            problems.append(
+                f"shard_sweep {key}: event count drifted "
+                f"({base['events']} -> {point['events']})")
+    shard_mops = [
+        shards[f"mns{n}"]["sim_throughput_mops"]
+        for n in SHARD_SWEEP_MNS
+        if isinstance(shards.get(f"mns{n}"), dict)
+    ]
+    if len(shard_mops) == len(SHARD_SWEEP_MNS):
+        for prev, nxt, mns in zip(shard_mops, shard_mops[1:],
+                                  SHARD_SWEEP_MNS[1:]):
+            if nxt <= prev:
+                problems.append(
+                    f"shard_sweep: {mns} MNs did not raise aggregate "
+                    f"simulated Mops ({prev} -> {nxt})")
     partitioned = report.get("partitioned")
     if partitioned is not None:
         if not partitioned["matches_serial"]:

@@ -36,6 +36,13 @@ from repro.rdma.nic import NicSpec
 #: :mod:`repro.core.adaptive`).
 SYNC_MODE_ENV = "REPRO_SYNC_MODE"
 
+#: Environment analogues of the sharding CLI flags (``--num-mns`` /
+#: ``--shards`` / ``--cache-mode``; see :mod:`repro.cluster.shards`).
+NUM_MNS_ENV = "REPRO_NUM_MNS"
+SHARDS_ENV = "REPRO_SHARDS"
+CACHE_MODE_ENV = "REPRO_CACHE_MODE"
+REBALANCE_ENV = "REPRO_REBALANCE"
+
 
 def _resolve_sync_mode(sync_mode: Optional[str]) -> str:
     """Explicit argument > ``REPRO_SYNC_MODE`` > the optimistic default."""
@@ -43,6 +50,27 @@ def _resolve_sync_mode(sync_mode: Optional[str]) -> str:
         return sync_mode
     env = os.environ.get(SYNC_MODE_ENV, "").strip().lower()
     return env or "optimistic"
+
+
+def _resolve_int_env(value: Optional[int], env_name: str) -> Optional[int]:
+    """Explicit argument > integer environment variable > None."""
+    if value is not None:
+        return value
+    env = os.environ.get(env_name, "").strip()
+    if not env:
+        return None
+    try:
+        return int(env)
+    except ValueError:
+        raise ValueError(f"{env_name} must be an integer: {env!r}") from None
+
+
+def _resolve_cache_mode(cache_mode: Optional[str]) -> str:
+    """Explicit argument > ``REPRO_CACHE_MODE`` > the shared default."""
+    if cache_mode is not None:
+        return cache_mode
+    env = os.environ.get(CACHE_MODE_ENV, "").strip().lower()
+    return env or "shared"
 
 
 @dataclass(frozen=True)
@@ -90,19 +118,42 @@ class Scale:
                        num_mns: Optional[int] = None,
                        num_cns: int = 2,
                        seed: Optional[int] = None,
-                       sync_mode: Optional[str] = None) -> ClusterConfig:
-        """A cluster config for one run (``cache_bytes=-1`` = preset)."""
+                       sync_mode: Optional[str] = None,
+                       num_shards: Optional[int] = None,
+                       cache_mode: Optional[str] = None,
+                       rebalance_shards: bool = False) -> ClusterConfig:
+        """A cluster config for one run (``cache_bytes=-1`` = preset).
+
+        Sharding knobs resolve explicit > environment > default:
+        *num_mns* through ``REPRO_NUM_MNS``, *num_shards* through
+        ``REPRO_SHARDS``, *cache_mode* through ``REPRO_CACHE_MODE``.
+        Sharding stays off (0, the legacy striped pool) unless requested
+        — multi-MN experiments like fig3c rely on striping; the CLI's
+        ``run`` command defaults ``--shards`` to one per MN instead.
+        """
         total_clients = clients if clients is not None else self.clients
         per_cn = max(1, total_clients // num_cns)
         budget = self.cache_bytes if cache_bytes == -1 else cache_bytes
+        num_mns = _resolve_int_env(num_mns, NUM_MNS_ENV)
+        if num_mns is None:
+            num_mns = self.num_mns
+        num_shards = _resolve_int_env(num_shards, SHARDS_ENV)
+        if num_shards is None:
+            num_shards = 0
+        if not rebalance_shards:
+            env = os.environ.get(REBALANCE_ENV, "").strip().lower()
+            rebalance_shards = env not in ("", "0", "false", "no")
         return ClusterConfig(
             num_cns=num_cns,
-            num_mns=num_mns if num_mns is not None else self.num_mns,
+            num_mns=num_mns,
             clients_per_cn=per_cn,
             cache_bytes=budget,
             region_bytes=1 << 27,
             mn_nic=self.nic_spec(),
             sync_mode=_resolve_sync_mode(sync_mode),
+            num_shards=num_shards,
+            cache_mode=_resolve_cache_mode(cache_mode),
+            rebalance_shards=rebalance_shards,
             seed=seed if seed is not None else self.seed,
         )
 

@@ -61,6 +61,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fig4": (exp.fig4_micro, True),
     "table1": (exp.table1_rtts, True),
     "fig12": (exp.fig12_ycsb, True),
+    "figshard": (exp.figshard_scaleout, True),
     "fig13": (exp.fig13_variable_kv, True),
     "fig14": (exp.fig14_cache_consumption, True),
     "fig15": (exp.fig15_factor_analysis, True),
@@ -191,6 +192,33 @@ def _cmd_run(args) -> int:
         # space-partitions every single run the selected figures make.
         from repro.bench.partition import PARTITIONS_ENV
         os.environ[PARTITIONS_ENV] = str(args.partitions)
+    # Sharding knobs ride the same environment channel so every point
+    # the selected figures run (including sweep worker processes) sees
+    # them via Scale.cluster_config.
+    from repro.bench.scale import (
+        CACHE_MODE_ENV,
+        NUM_MNS_ENV,
+        REBALANCE_ENV,
+        SHARDS_ENV,
+    )
+    if args.num_mns is not None:
+        if args.num_mns < 1:
+            print("--num-mns must be >= 1", file=sys.stderr)
+            return 2
+        os.environ[NUM_MNS_ENV] = str(args.num_mns)
+    if args.shards is not None:
+        if args.shards < 0:
+            print("--shards must be >= 0", file=sys.stderr)
+            return 2
+        os.environ[SHARDS_ENV] = str(args.shards)
+    elif args.num_mns is not None and args.num_mns > 1:
+        # --num-mns alone means "scale out": default to one shard per MN
+        # (pass --shards 0 explicitly for the legacy striped pool).
+        os.environ[SHARDS_ENV] = str(args.num_mns)
+    if args.cache_mode is not None:
+        os.environ[CACHE_MODE_ENV] = args.cache_mode
+    if args.rebalance:
+        os.environ[REBALANCE_ENV] = "1"
 
     recorder = None
     if args.trace:
@@ -399,6 +427,36 @@ def _cmd_chaos(args) -> int:
             return 2
     if outages:
         overrides["mn_outages"] = tuple(outages)
+    # Sharding knobs: explicit flag > environment > ChaosConfig default.
+    from repro.bench.scale import (
+        CACHE_MODE_ENV,
+        NUM_MNS_ENV,
+        SHARDS_ENV,
+        _resolve_int_env,
+    )
+    num_mns = _resolve_int_env(args.num_mns, NUM_MNS_ENV)
+    if num_mns is not None:
+        overrides["num_mns"] = num_mns
+    num_shards = _resolve_int_env(args.shards, SHARDS_ENV)
+    if num_shards is None and num_mns is not None and num_mns > 1:
+        num_shards = num_mns
+    if num_shards is not None:
+        overrides["num_shards"] = num_shards
+    cache_mode = args.cache_mode or os.environ.get(CACHE_MODE_ENV, "").strip()
+    if cache_mode:
+        overrides["cache_mode"] = cache_mode
+    migrations = []
+    for spec in args.migrate or ():
+        try:
+            shard_text, mn_text, start_text = spec.split(":")
+            migrations.append((int(shard_text), int(mn_text),
+                               _parse_time(start_text)))
+        except ValueError:
+            print(f"bad migrate spec {spec!r} (want SHARD:MN:START)",
+                  file=sys.stderr)
+            return 2
+    if migrations:
+        overrides["migrations"] = tuple(migrations)
     cfg = ChaosConfig(**overrides)
     if args.partitions is not None and args.partitions > 1:
         from repro.bench.partition import run_chaos_partitioned
@@ -459,7 +517,8 @@ def _campaign_plan(args):
         CellSpec(index, workload, count, depth=args.depth,
                  value_size=args.value_size, theta=args.theta,
                  span=args.span, neighborhood=args.neighborhood,
-                 sync_mode=args.sync_mode)
+                 sync_mode=args.sync_mode,
+                 num_mns=args.num_mns, cache_mode=args.cache_mode)
         for index in indexes
         for workload in workloads
         for count in clients)
@@ -634,6 +693,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                                  "N processes (lockstep lookahead "
                                  "windows, byte-identical to serial; "
                                  "default: $REPRO_PARTITIONS or 1)")
+    run_parser.add_argument("--num-mns", type=int, default=None,
+                            metavar="M",
+                            help="memory nodes per cluster "
+                                 "(default: $REPRO_NUM_MNS or the "
+                                 "experiment's own choice)")
+    run_parser.add_argument("--shards", type=int, default=None,
+                            metavar="S",
+                            help="key-space shards (default: "
+                                 "$REPRO_SHARDS; with --num-mns > 1 and "
+                                 "no value, one shard per MN; 0 = the "
+                                 "legacy striped pool)")
+    run_parser.add_argument("--cache-mode", default=None,
+                            choices=("shared", "partitioned"),
+                            help="CN cache admission under sharding "
+                                 "(default: $REPRO_CACHE_MODE or shared)")
+    run_parser.add_argument("--rebalance", action="store_true",
+                            help="run the hot-shard rebalancer (EWMA "
+                                 "detection + online migration) alongside "
+                                 "sharded workloads")
 
     trace_parser = sub.add_parser(
         "trace", help="trace one workload point (spans + metrics)")
@@ -717,6 +795,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                               choices=SYNC_MODES,
                               help="lock synchronization mode "
                                    "(default: optimistic)")
+    chaos_parser.add_argument("--num-mns", type=int, default=None,
+                              metavar="M",
+                              help="memory nodes (default: $REPRO_NUM_MNS "
+                                   "or 1)")
+    chaos_parser.add_argument("--shards", type=int, default=None,
+                              metavar="S",
+                              help="key-space shards (default: "
+                                   "$REPRO_SHARDS; with --num-mns > 1 and "
+                                   "no value, one shard per MN)")
+    chaos_parser.add_argument("--cache-mode", default=None,
+                              choices=("shared", "partitioned"),
+                              help="CN cache admission under sharding "
+                                   "(default: $REPRO_CACHE_MODE or shared)")
+    chaos_parser.add_argument("--migrate", action="append", metavar="SPEC",
+                              help="online shard migration "
+                                   "'SHARD:MN:START' (repeatable), e.g. "
+                                   "'1:0:60us'")
 
     campaign_parser = sub.add_parser(
         "campaign",
@@ -758,6 +853,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                       choices=SYNC_MODES,
                       help="lock synchronization mode pinned per point "
                            "(default: optimistic)")
+    crun.add_argument("--num-mns", type=int, default=1, metavar="M",
+                      help="memory nodes pinned per point; > 1 shards "
+                           "the key space one sub-tree per MN "
+                           "(default: 1)")
+    crun.add_argument("--cache-mode", default="shared",
+                      choices=("shared", "partitioned"),
+                      help="CN cache admission under sharding pinned "
+                           "per point (default: shared)")
     crun.add_argument("--seeds", type=int, default=3, metavar="N",
                       help="replicates per cell (default: 3)")
     crun.add_argument("--seed-base", type=int, default=None, metavar="S",

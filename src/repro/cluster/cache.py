@@ -97,6 +97,10 @@ class IndexCache:
             BUS.emit("cache.invalidate", addr=addr, bytes=entry[1])
         return True
 
+    def addrs(self) -> "list[int]":
+        """A snapshot of every cached address (stable under mutation)."""
+        return list(self._entries)
+
     def clear(self) -> None:
         self._entries.clear()
         self.bytes_used = 0

@@ -5,7 +5,9 @@ from __future__ import annotations
 from typing import Dict, Iterator, List
 
 from repro.cluster.compute import ClientContext, ComputeNode
+from repro.cluster.shards import ShardMap, resolve_cache_mode
 from repro.config import ClusterConfig
+from repro.memory.allocator import PartitionedAllocator
 from repro.memory.node import MemoryNode
 from repro.obs.bus import BUS
 from repro.rdma.ops import TrafficStats
@@ -32,6 +34,18 @@ class Cluster:
             ComputeNode(self.engine, cn_id, config, self.mns)
             for cn_id in range(config.num_cns)
         ]
+        # Key-space sharding (ISSUE 9): num_shards == 0 keeps the
+        # historical single-pool behavior; >= 1 builds the shard map and
+        # the shard-routing allocator facade the ShardedIndex uses.
+        if config.num_shards:
+            resolve_cache_mode(config.cache_mode)
+            self.shard_map = ShardMap(
+                config.num_shards, config.num_mns, num_cns=config.num_cns)
+            self.partitioned_allocator = PartitionedAllocator(
+                self.mns, self.shard_map)
+        else:
+            self.shard_map = None
+            self.partitioned_allocator = None
         # Timestamp source for bus emitters without an engine reference
         # (cache, sync checks).  Last constructed cluster wins, which is
         # right for the one-cluster-at-a-time experiment flow.

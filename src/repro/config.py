@@ -67,6 +67,21 @@ class ClusterConfig:
     #: serial client loop, event-for-event; higher depths overlap that
     #: many ops per client on its queue pair (see :mod:`repro.sched`).
     pipeline_depth: int = 1
+    #: Key-space shards (see :mod:`repro.cluster.shards`).  0 (the
+    #: default) keeps the historical single-pool behavior: one index
+    #: tree, allocations round-robin striped over every MN.  >= 1 builds
+    #: the index as one sub-tree per contiguous key-range shard, each
+    #: homed on one MN; ``num_shards=1`` with ``num_mns=1`` is
+    #: event-sequence identical to the legacy path.
+    num_shards: int = 0
+    #: CN cache admission policy under sharding: ``shared`` (every CN
+    #: caches any shard's nodes, the historical behavior) or
+    #: ``partitioned`` (DEX-style: each CN's cache only admits nodes of
+    #: the shards it owns; ownership handoff invalidates admitted lines).
+    cache_mode: str = "shared"
+    #: Start the hot-shard rebalancer (decaying-EWMA detection + online
+    #: shard migration) alongside the workload (sharded mode only).
+    rebalance_shards: bool = False
     #: RNG seed for client workload streams.
     seed: int = 42
 

@@ -57,7 +57,7 @@ from repro.layout import MAX_KEY, StripedSpan, decode_u64, encode_u64
 from repro.obs.bus import BUS
 from repro.retry import DEFAULT_RETRY_POLICY
 from repro.layout.versions import bump_nibble
-from repro.memory import ChunkAllocator, NULL_ADDR, addr_mn
+from repro.memory import ChunkAllocator, NULL_ADDR, addr_mn, addr_offset
 from repro.memory.region import CACHE_LINE
 
 #: Remote offset (on MN 0) of the 8-byte global root pointer.
@@ -113,9 +113,14 @@ class BTreeIndexBase:
         #: override it from their config (see :class:`repro.retry.RetryPolicy`).
         self.retry_policy = DEFAULT_RETRY_POLICY
         #: Host-visible hints; the authoritative root pointer lives at
-        #: ``ROOT_PTR_OFFSET`` on MN 0 and is updated via remote CAS.
+        #: ``root_ptr_addr`` (by default ``ROOT_PTR_OFFSET`` on MN 0 —
+        #: note ``make_addr(0, 8) == 8``, so the legacy constant *is* a
+        #: global address) and is updated via remote CAS.  Sharded
+        #: sub-trees point this at their per-shard root slot on the
+        #: shard's home MN (see :class:`repro.memory.PartitionedAllocator`).
         #: (Shortcut: hint propagation to other CNs is instantaneous;
         #: root growth is rare and the remote CAS still serializes it.)
+        self.root_ptr_addr = ROOT_PTR_OFFSET
         self.root_addr = NULL_ADDR
         self.root_level = 0
         self._host_rr = 0
@@ -145,7 +150,9 @@ class BTreeIndexBase:
     def _set_root(self, addr: int, level: int) -> None:
         self.root_addr = addr
         self.root_level = level
-        self.cluster.mns[0].region.write_u64(ROOT_PTR_OFFSET, addr)
+        ptr = self.root_ptr_addr
+        self.cluster.mns[addr_mn(ptr)].region.write_u64(addr_offset(ptr),
+                                                        addr)
 
     # -- host-side tree inspection ---------------------------------------------
 
@@ -942,9 +949,8 @@ class BTreeClientBase:
             (root_addr, bytes(view.span.data)),
             (root_addr + layout.lock_offset, encode_u64(0)),
         ])
-        root_ptr_addr = ROOT_PTR_OFFSET  # global address (MN 0, offset 8)
-        old, swapped = yield from self.qp.cas(root_ptr_addr, old_root,
-                                              root_addr)
+        old, swapped = yield from self.qp.cas(self.index.root_ptr_addr,
+                                              old_root, root_addr)
         if swapped:
             self.index.root_addr = root_addr
             self.index.root_level = level

@@ -33,7 +33,7 @@ from repro.config import ChimeConfig, ClusterConfig
 from repro.core import ChimeIndex
 from repro.core.node_layout import sim_us
 from repro.errors import ReproError
-from repro.faults.invariants import InvariantReport, check_tree_invariants
+from repro.faults.invariants import InvariantReport, check_index_invariants
 from repro.faults.plan import FaultPlan
 from repro.obs import recording
 from repro.retry import DEFAULT_RETRY_POLICY
@@ -89,6 +89,16 @@ class ChaosConfig:
     #: 1 keeps the historical strictly serial chaos clients; higher
     #: depths overlap ops, so a CN crash parks several in-flight lanes.
     pipeline_depth: int = 1
+    #: Key-space shards (0 = the legacy single tree; >= 1 builds the
+    #: index as per-shard sub-trees via the registry; see
+    #: :mod:`repro.cluster.shards`).
+    num_shards: int = 0
+    #: CN cache admission under sharding ("shared" or "partitioned").
+    cache_mode: str = "shared"
+    #: Scheduled online migrations: (shard, target_mn, start_seconds)
+    #: tuples, each kicked off at its simulated start time while the
+    #: chaos workload (and any injected faults) are running.
+    migrations: Tuple[Tuple[int, int, float], ...] = ()
 
 
 @dataclass
@@ -175,7 +185,7 @@ def _client_ops(cfg: ChaosConfig, client_index: int) -> List[Tuple[str, int]]:
     return ops
 
 
-def _chaos_lane(client, lane_name: str, client_name: str, ops,
+def _chaos_lane(engine, client, lane_name: str, client_name: str, ops,
                 completed: Dict[str, int], inserted: List[int],
                 errors: List[Dict], halted: List[bool]) -> Generator:
     """One chaos lane: pull ops from the client's shared iterator.
@@ -187,13 +197,23 @@ def _chaos_lane(client, lane_name: str, client_name: str, ops,
     one-error-kills-the-client semantics at any depth.  Keys are
     counted committed only after the insert returns; errors record the
     lane name, so overlapping failures stay attributable.
+
+    Shard-routed clients expose ``outage_delay(key)``; the lane parks
+    out an injected outage window on the key's home MN instead of
+    burning its retry budget, while lanes on healthy shards keep
+    running (see :func:`repro.sched.client_lane`).
     """
+    parker = getattr(client, "outage_delay", None)
     try:
         while not halted[0]:
             try:
                 kind, key = next(ops)
             except StopIteration:
                 return
+            if parker is not None:
+                delay = parker(key)
+                if delay > 0.0:
+                    yield engine.timeout(delay)
             if kind == "insert":
                 yield from client.insert(key, key * 7 + 1)
                 inserted.append(key)
@@ -206,6 +226,23 @@ def _chaos_lane(client, lane_name: str, client_name: str, ops,
         halted[0] = True
         errors.append({"client": lane_name, "error": type(exc).__name__,
                        "detail": str(exc)[:120]})
+
+
+def _scheduled_migration(engine, index, shard: int, target_mn: int,
+                         start: float) -> Generator:
+    """Kick one online shard migration at its scheduled simulated time.
+
+    A migration broken by injected faults (retry budget exhausted on
+    the copy-out verbs) is abandoned cleanly: the shard-map flip only
+    happens after a complete copy, so the source sub-tree remains
+    authoritative and the invariant checker still passes.
+    """
+    if start > engine.now:
+        yield engine.timeout(start - engine.now)
+    try:
+        yield from index.migrate_shard(shard, target_mn)
+    except ReproError:
+        pass
 
 
 def run_chaos(cfg: ChaosConfig, drive=None) -> ChaosResult:
@@ -222,6 +259,7 @@ def run_chaos(cfg: ChaosConfig, drive=None) -> ChaosResult:
         lock_leases=cfg.lock_leases, lease_duration=cfg.lease_duration,
         sync_mode=cfg.sync_mode,
         pipeline_depth=cfg.pipeline_depth,
+        num_shards=cfg.num_shards, cache_mode=cfg.cache_mode,
         seed=cfg.seed)
     # Explicit depth: a ChaosConfig maps to exactly one ChaosResult, so
     # the REPRO_DEPTH environment override must not apply here.
@@ -230,10 +268,24 @@ def run_chaos(cfg: ChaosConfig, drive=None) -> ChaosResult:
                                         deadline=cfg.deadline)
     with recording() as rec:
         cluster = Cluster(cluster_config)
-        index = ChimeIndex(cluster, ChimeConfig(span=cfg.span, retry=retry))
+        if cluster.shard_map is not None:
+            from repro.core.sharded import ShardedIndex
+            from repro.registry import get_family
+
+            index = ShardedIndex(cluster, get_family("chime"),
+                                 span=cfg.span,
+                                 chime_overrides={"retry": retry})
+        else:
+            index = ChimeIndex(cluster,
+                               ChimeConfig(span=cfg.span, retry=retry))
         pairs = dataset(cfg.initial_keys, key_space=cfg.key_space, seed=1)
         index.bulk_load(pairs)
         injector = cluster.install_faults(build_plan(cfg))
+        for shard, target_mn, start in cfg.migrations:
+            cluster.engine.process(
+                _scheduled_migration(cluster.engine, index, shard,
+                                     target_mn, start),
+                name=f"chaos-migrate-s{shard}")
         completed: Dict[str, int] = {}
         inserted: List[int] = []
         errors: List[Dict] = []
@@ -245,9 +297,9 @@ def run_chaos(cfg: ChaosConfig, drive=None) -> ChaosResult:
             for lane in range(depth):
                 lane_ctx = ctx if lane == 0 else LaneContext(ctx, lane)
                 cluster.engine.process(
-                    _chaos_lane(index.client(lane_ctx), lane_ctx.name,
-                                name, ops, completed, inserted, errors,
-                                halted),
+                    _chaos_lane(cluster.engine, index.client(lane_ctx),
+                                lane_ctx.name, name, ops, completed,
+                                inserted, errors, halted),
                     name=f"chaos-{lane_ctx.name}")
         if drive is None:
             cluster.run()
@@ -255,8 +307,8 @@ def run_chaos(cfg: ChaosConfig, drive=None) -> ChaosResult:
             drive(cluster)
         expected = set(k for k, _ in pairs) | set(inserted)
         dead = sorted(injector.dead_cns)
-        invariants = check_tree_invariants(index, expected_keys=expected,
-                                           dead_cns=dead)
+        invariants = check_index_invariants(index, expected_keys=expected,
+                                            dead_cns=dead)
         stranded = stranded_tickets(index, dead)
         metrics = rec.notes()
     errors.sort(key=lambda e: e["client"])

@@ -35,7 +35,8 @@ from repro.core.sync import reconstruct_bitmap
 from repro.layout import MAX_KEY, StripedSpan, decode_key, decode_u64
 from repro.memory import NULL_ADDR
 
-__all__ = ["InvariantReport", "check_tree_invariants"]
+__all__ = ["InvariantReport", "check_index_invariants",
+           "check_tree_invariants"]
 
 #: Lock-line offsets of the leaf fence keys (mirrors repro.core.chime).
 _FENCE_LOW_OFF = 8
@@ -209,3 +210,37 @@ def check_tree_invariants(index,
             report.violations.append(
                 f"... and {len(missing) - 10} more committed keys missing")
     return report
+
+
+def check_index_invariants(index,
+                           expected_keys: Optional[Iterable[int]] = None,
+                           dead_cns: Iterable[int] = ()
+                           ) -> InvariantReport:
+    """Check a possibly-sharded index: dispatch per shard sub-tree.
+
+    A :class:`~repro.core.sharded.ShardedIndex` is one CHIME sub-tree
+    per key-range shard, each spanning the full fence domain
+    ``[0, MAX_KEY)`` internally; every sub-tree is checked with
+    :func:`check_tree_invariants` against the expected keys routed to
+    its shard, and the per-shard findings are merged with a
+    ``shard N:`` prefix.  A plain index passes straight through.
+    """
+    shards = getattr(index, "shards", None)
+    if shards is None:
+        return check_tree_invariants(index, expected_keys=expected_keys,
+                                     dead_cns=dead_cns)
+    smap = index.shard_map
+    buckets: Dict[int, set] = {shard: set() for shard, _sub in shards()}
+    for key in expected_keys or ():
+        buckets[smap.shard_of(key)].add(key)
+    merged = InvariantReport()
+    for shard, sub in shards():
+        report = check_tree_invariants(sub, expected_keys=buckets[shard],
+                                       dead_cns=dead_cns)
+        merged.violations.extend(
+            f"shard {shard}: {v}" for v in report.violations)
+        merged.warnings.extend(
+            f"shard {shard}: {w}" for w in report.warnings)
+        merged.leaves += report.leaves
+        merged.keys += report.keys
+    return merged

@@ -1,6 +1,11 @@
 """The memory pool: regions, global addresses, allocation, memory nodes."""
 
-from repro.memory.allocator import BumpAllocator, ChunkAllocator, DEFAULT_CHUNK_SIZE
+from repro.memory.allocator import (
+    BumpAllocator,
+    ChunkAllocator,
+    DEFAULT_CHUNK_SIZE,
+    PartitionedAllocator,
+)
 from repro.memory.node import MemoryNode, RPC_SERVICE_TIME
 from repro.memory.region import (
     ATOMIC_SIZE,
@@ -22,6 +27,7 @@ __all__ = [
     "MemoryNode",
     "MemoryRegion",
     "NULL_ADDR",
+    "PartitionedAllocator",
     "RPC_SERVICE_TIME",
     "addr_mn",
     "addr_offset",

@@ -9,7 +9,7 @@ is off the critical path — exactly the property the paper relies on.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Dict, Generator, Optional
 
 from repro.errors import AllocationError
 from repro.memory.region import CACHE_LINE, make_addr
@@ -60,6 +60,66 @@ class BumpAllocator:
                 f"{offset}, region is {self.region_size}")
         self._next = offset + size
         return make_addr(self.mn_id, offset)
+
+
+class PartitionedAllocator:
+    """Shard-routing facade over the per-MN :class:`BumpAllocator` pool.
+
+    The key space is carved into contiguous shards by a
+    :class:`~repro.cluster.shards.ShardMap`; every host-side allocation
+    names the shard it belongs to and lands on that shard's home MN.
+    With one MN and one shard every call degenerates to
+    ``mns[0].allocator.alloc(...)`` — the same bump pointer, the same
+    offsets, byte-for-byte identical to the unsharded allocator.
+
+    Each shard also gets a **root-pointer slot**: an 8-byte word holding
+    the shard sub-tree's root address, updated by remote CAS exactly
+    like the legacy global root word.  The first shard homed on an MN
+    reuses that MN's reserved word at offset 8 (so the single-shard
+    slot *is* the legacy ``ROOT_PTR_OFFSET`` word); later shards on the
+    same MN take the remaining reserved words below the first cache
+    line, then fall back to bump-allocated lines.
+    """
+
+    #: Offset of the first root slot inside each MN's reserved line
+    #: (mirrors ``repro.core.btree_base.ROOT_PTR_OFFSET``).
+    FIRST_SLOT_OFFSET = 8
+
+    def __init__(self, mns: Dict[int, object], shard_map) -> None:
+        self._mns = mns
+        self.shard_map = shard_map
+        self._root_slots: Dict[int, int] = {}
+        self._next_slot: Dict[int, int] = {
+            mn_id: self.FIRST_SLOT_OFFSET for mn_id in mns}
+
+    def home_mn(self, shard: int) -> int:
+        """The memory node currently homing *shard*."""
+        return self.shard_map.mn_of(shard)
+
+    def alloc(self, shard: int, size: int, align: int = CACHE_LINE) -> int:
+        """Host-side allocation routed to *shard*'s home MN."""
+        return self._mns[self.home_mn(shard)].allocator.alloc(
+            size, align=align)
+
+    def root_addr(self, shard: int, mn_id: Optional[int] = None) -> int:
+        """The global address of *shard*'s root-pointer slot.
+
+        Assigned on first request (per shard, on *mn_id* or the shard's
+        current home MN) and stable afterwards; migration requests a
+        fresh slot on the target MN by passing *mn_id* explicitly.
+        """
+        if mn_id is None:
+            if shard in self._root_slots:
+                return self._root_slots[shard]
+            mn_id = self.home_mn(shard)
+        offset = self._next_slot[mn_id]
+        if offset + 8 <= CACHE_LINE:
+            self._next_slot[mn_id] = offset + 8
+            addr = make_addr(mn_id, offset)
+        else:
+            addr = self._mns[mn_id].allocator.alloc(8, align=8)
+        self._root_slots[shard] = addr
+        return addr
 
 
 class ChunkAllocator:

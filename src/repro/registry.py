@@ -61,6 +61,13 @@ class IndexFamily:
     model_routed: bool = False
     #: The factory honours the ``chime_overrides`` dict.
     accepts_overrides: bool = False
+    #: The family can be built as per-shard key-range sub-trees
+    #: (:class:`repro.core.sharded.ShardedIndex`).  Model-routed families
+    #: train a global model over the whole key distribution and cannot be
+    #: range-partitioned; they are rejected at build time when
+    #: ``num_shards > 1`` (a single shard routes everything to one
+    #: sub-index and stays legal for any family).
+    shardable: bool = True
     #: Run with an uncapped CN cache (the SMART-Opt methodology).
     unlimited_cache: bool = False
     #: ``ClusterConfig.sync_mode`` values the family's lock paths honour
@@ -116,9 +123,22 @@ def build_index(name: str, cluster,
         raise WorkloadError(
             f"index family {name!r} does not support sync mode "
             f"{sync_mode!r} (supported: {supported})")
-    index = family.factory(cluster, value_size=value_size, span=span,
-                           neighborhood=neighborhood,
-                           overrides=chime_overrides)
+    if getattr(cluster, "shard_map", None) is not None:
+        if not family.shardable and cluster.shard_map.num_shards > 1:
+            raise WorkloadError(
+                f"index family {name!r} is model-routed and cannot be "
+                f"key-range sharded "
+                f"(num_shards={cluster.shard_map.num_shards}); "
+                f"run it with num_shards <= 1")
+        from repro.core.sharded import ShardedIndex
+
+        index = ShardedIndex(cluster, family, value_size=value_size,
+                             span=span, neighborhood=neighborhood,
+                             chime_overrides=chime_overrides)
+    else:
+        index = family.factory(cluster, value_size=value_size, span=span,
+                               neighborhood=neighborhood,
+                               overrides=chime_overrides)
     index.registry_family = family
     return index
 
@@ -226,14 +246,14 @@ register(IndexFamily(
 register(IndexFamily(
     name="rolex", family="rolex", factory=_rolex_factory(indirect=False),
     description="ROLEX learned index baseline (FAST '23)",
-    model_routed=True))
+    model_routed=True, shardable=False))
 register(IndexFamily(
     name="rolex-indirect", family="rolex",
     factory=_rolex_factory(indirect=True),
     description="ROLEX with indirect values (variable-length KV)",
-    indirect_values=True, model_routed=True))
+    indirect_values=True, model_routed=True, shardable=False))
 register(IndexFamily(
     name="chime-learned", family="chime-learned",
     factory=_learned_factory,
     description="CHIME leaves under a learned (PLA) internal structure",
-    supports_scan=False, model_routed=True))
+    supports_scan=False, model_routed=True, shardable=False))

@@ -206,13 +206,26 @@ def client_lane(engine, client, ops: Iterator[Tuple[int, object]],
     shared NIC resources while sibling lanes are in flight) and is
     recorded per-op at completion; ops whose stream position falls
     inside the warmup window are excluded, as in the serial runner.
+
+    Shard-routed clients expose ``outage_delay(key)`` — the seconds
+    until the key's home MN leaves an injected outage window.  The lane
+    parks for that long instead of burning retry budget against a dead
+    MN, while lanes routed to healthy shards keep running.  Legacy
+    clients have no such hook and the loop is unchanged (event-sequence
+    identity preserved: the hook is pure Python and returns 0.0 when no
+    injector is installed).
     """
+    parker = getattr(client, "outage_delay", None)
     while True:
         try:
             op_index, op = next(ops)
         except StopIteration:
             return
         begin = engine.now
+        if parker is not None:
+            delay = parker(op.key)
+            if delay > 0.0:
+                yield engine.timeout(delay)
         yield from execute_op(client, op, context)
         completed[0] += 1
         if op_index >= warmup:
@@ -256,6 +269,14 @@ def launch_clients(cluster, index, context: WorkloadContext,
                             latencies, completed),
                 name=f"lane-{lane_ctx.name}")
             run.lanes.append(handle)
+    if (getattr(cluster.config, "rebalance_shards", False)
+            and hasattr(index, "rebalancer")):
+        # Hot-shard rebalancer rides alongside the workload; it stops
+        # once every lane finished so the engine heap can drain.
+        lanes = run.lanes
+        engine.process(
+            index.rebalancer(lambda: all(l.finished for l in lanes)),
+            name="shard-rebalancer")
     return run
 
 

@@ -84,6 +84,12 @@ def _cell_label(spec: Dict) -> str:
         label += f" s{cell['span']}"
     if cell.get("neighborhood") is not None:
         label += f" h{cell['neighborhood']}"
+    if cell.get("sync_mode", "optimistic") != "optimistic":
+        label += f" {cell['sync_mode']}"
+    if cell.get("num_mns", 1) != 1:
+        label += f" m{cell['num_mns']}"
+    if cell.get("cache_mode", "shared") != "shared":
+        label += f" {cell['cache_mode']}"
     scale = spec.get("scale", {}).get("name")
     if scale:
         label += f" [{scale}]"

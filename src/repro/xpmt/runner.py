@@ -58,8 +58,15 @@ class RunSummary:
 def build_point_spec(plan: CampaignPlan, cell: CellSpec, seed: int) -> PointSpec:
     """The picklable sweep point for one (cell, seed) replicate."""
     scale = plan.scale
+    # Shard one sub-tree per MN when the cell scales MNs out (or asks
+    # for partitioned cache ownership); num_shards is pinned explicitly
+    # so the REPRO_SHARDS environment knob never reaches campaign points.
+    sharded = cell.num_mns > 1 or cell.cache_mode != "shared"
     config = scale.cluster_config(clients=cell.clients, seed=seed,
-                                  sync_mode=cell.sync_mode)
+                                  sync_mode=cell.sync_mode,
+                                  num_mns=cell.num_mns,
+                                  num_shards=cell.num_mns if sharded else 0,
+                                  cache_mode=cell.cache_mode)
     if cell.depth != 1:
         config = config.scaled(pipeline_depth=cell.depth)
     return PointSpec(

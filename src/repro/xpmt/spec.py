@@ -54,6 +54,14 @@ RESOLVED_ENV = frozenset(
         # field when non-default), so the environment knob never reaches
         # a campaign point's cluster config.
         "REPRO_SYNC_MODE",
+        # Same for the sharding knobs: cells pin num_mns and cache_mode
+        # (payload fields when non-default) and the runner derives
+        # num_shards from them, so these never reach a campaign point.
+        # REPRO_REBALANCE is deliberately NOT resolved — it has no cell
+        # field, so setting it re-keys the spec hash.
+        "REPRO_NUM_MNS",
+        "REPRO_SHARDS",
+        "REPRO_CACHE_MODE",
     }
 )
 
@@ -105,6 +113,11 @@ class CellSpec:
     neighborhood: Optional[int] = None
     #: Lock synchronization mode (see :mod:`repro.core.adaptive`).
     sync_mode: str = "optimistic"
+    #: Memory nodes; > 1 shards the key space one shard per MN (see
+    #: :mod:`repro.cluster.shards`).
+    num_mns: int = 1
+    #: CN cache admission under sharding ("shared" or "partitioned").
+    cache_mode: str = "shared"
 
     def label(self) -> str:
         """Compact human label used by reports and status tables."""
@@ -119,6 +132,10 @@ class CellSpec:
             text += f" h{self.neighborhood}"
         if self.sync_mode != "optimistic":
             text += f" {self.sync_mode}"
+        if self.num_mns != 1:
+            text += f" m{self.num_mns}"
+        if self.cache_mode != "shared":
+            text += f" {self.cache_mode}"
         return text
 
 
@@ -127,11 +144,18 @@ def _cell_payload(cell: CellSpec) -> Dict:
 
     ``sync_mode`` is omitted at its optimistic default so every spec
     hash and auto campaign id minted before the field existed still
-    resolves to the same stored points; non-default modes re-key.
+    resolves to the same stored points; non-default modes re-key.  The
+    sharding fields follow the same rule: ``num_mns`` is omitted at 1
+    and ``cache_mode`` at "shared", so pre-sharding campaign ids and
+    point keys survive unchanged.
     """
     payload = asdict(cell)
     if payload.get("sync_mode") == "optimistic":
         del payload["sync_mode"]
+    if payload.get("num_mns") == 1:
+        del payload["num_mns"]
+    if payload.get("cache_mode") == "shared":
+        del payload["cache_mode"]
     return payload
 
 
