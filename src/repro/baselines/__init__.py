@@ -1,6 +1,8 @@
 """Baseline DM range indexes the paper compares CHIME against."""
 
+from repro.baselines.flexkv import FlexKVClient, FlexKVConfig, FlexKVIndex
 from repro.baselines.marlin import MarlinClient, MarlinIndex
+from repro.baselines.outback import OutbackClient, OutbackConfig, OutbackIndex
 from repro.baselines.pla import PlaModel, PlaSegment
 from repro.baselines.rolex import RolexClient, RolexConfig, RolexIndex
 from repro.baselines.sherman import (
@@ -17,8 +19,14 @@ from repro.baselines.smart import (
 )
 
 __all__ = [
+    "FlexKVClient",
+    "FlexKVConfig",
+    "FlexKVIndex",
     "MarlinClient",
     "MarlinIndex",
+    "OutbackClient",
+    "OutbackConfig",
+    "OutbackIndex",
     "PlaModel",
     "PlaSegment",
     "RolexClient",

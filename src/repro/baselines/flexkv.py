@@ -1,0 +1,453 @@
+"""FlexKV-style partitioned KV with dynamic CN-side vs MN-side placement.
+
+FlexKV (PAPERS.md) observes that CN-side index replicas only pay off
+while their routing metadata fits the CN memory budget; under pressure
+it moves whole partitions to MN-side execution, where the weak MN CPU
+walks the structure and the CN pays a single RPC per operation.  This
+module lands that design on the access layer of
+:mod:`repro.core.access`:
+
+* The structure is a hash-partitioned bucket array.  Each partition
+  lives on its home MN (round-robin) as ``buckets x slots`` fixed slots
+  of ``[key u64 | value]``; key 0 marks an empty slot.
+* **CN placement** (default): operations need the partition's routing
+  directory resident in the CN cache — a miss costs one extra directory
+  READ before the bucket access and is reported to the placement
+  policy.  Bucket accesses are ordinary one-sided verbs (slot claims go
+  through CAS), so fault injection, spans, and pipelining behave
+  exactly as for the tree families.
+* **MN placement**: the whole operation collapses to one RPC
+  (``PlanExecutor.offload``) whose service time derives from the
+  traversal plan via :class:`repro.sim.resources.OffloadCostModel`; the
+  handler runs host-side against the same region bytes the one-sided
+  path touches, so both placements see one source of truth.
+* The :class:`~repro.core.access.CachePressurePlacement` policy flips a
+  partition CN→MN once directory misses accumulate, emitting
+  ``placement.switch`` obs events; ``REPRO_PLACEMENT`` forces a static
+  ``cn`` or ``mn`` placement instead (``auto`` restores the policy).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.compute import ClientContext
+from repro.core.access import (
+    PLACEMENT_CN,
+    PLACEMENT_MN,
+    CachePressurePlacement,
+    StaticPlacement,
+    family_plans,
+)
+from repro.errors import IndexError_, SimulationError
+from repro.hashing.mph import _mix
+from repro.layout import (
+    decode_key,
+    decode_u64,
+    decode_value,
+    encode_key,
+    encode_value,
+)
+from repro.memory.region import CACHE_LINE, addr_mn
+from repro.obs.spans import SpanInstrumentedOps
+
+__all__ = ["FlexKVClient", "FlexKVConfig", "FlexKVIndex", "PLACEMENT_ENV"]
+
+#: Forces a static placement for every FlexKV partition: ``cn`` or
+#: ``mn``; ``auto`` (or unset) runs the cache-pressure policy.
+PLACEMENT_ENV = "REPRO_PLACEMENT"
+
+
+@dataclass(frozen=True)
+class FlexKVConfig:
+    value_size: int = 8
+    #: Hash partitions (placement is decided per partition); default
+    #: scales with the memory pool (4 per MN).
+    partitions: Optional[int] = None
+    slots_per_bucket: int = 4
+    #: Bucket-array slots per bulk-loaded item (insert headroom).
+    capacity_factor: float = 3.0
+    #: Consecutive buckets probed before declaring the table full
+    #: (linear probing at bucket granularity absorbs hash skew; probing
+    #: stops early at the first bucket with a free slot).
+    probe_limit: int = 8
+    #: Directory misses on a CN-placed partition before the policy
+    #: flips it to MN-side execution.
+    switch_threshold: int = 4
+
+
+def resolve_placement(value: Optional[str] = None) -> str:
+    """``cn`` / ``mn`` / ``auto`` from the argument or ``REPRO_PLACEMENT``."""
+    if value is None:
+        value = os.environ.get(PLACEMENT_ENV, "").strip() or "auto"
+    value = value.lower()
+    if value not in ("cn", "mn", "auto"):
+        raise SimulationError(
+            f"{PLACEMENT_ENV} must be cn, mn, or auto: {value!r}"
+        )
+    return value
+
+
+class FlexKVIndex:
+    """Host-side state: partition homes, bucket arrays, placement policy."""
+
+    access_family = "flexkv"
+
+    def __init__(self, cluster: Cluster,
+                 config: Optional[FlexKVConfig] = None,
+                 placement: Optional[str] = None) -> None:
+        self.cluster = cluster
+        self.config = config or FlexKVConfig()
+        self.mn_ids: List[int] = sorted(cluster.mns)
+        self.partitions = self.config.partitions or 4 * len(self.mn_ids)
+        mode = resolve_placement(placement)
+        if mode == "auto":
+            self.placement = CachePressurePlacement(
+                self.partitions, threshold=self.config.switch_threshold
+            )
+        else:
+            self.placement = StaticPlacement(
+                PLACEMENT_CN if mode == "cn" else PLACEMENT_MN
+            )
+        #: Per-partition bucket-array base address and its directory
+        #: (routing metadata) address; filled by :meth:`bulk_load`.
+        self.part_base: Dict[int, int] = {}
+        self.meta_addr: Dict[int, int] = {}
+        self.buckets = 0
+        self.loaded_items = 0
+
+    def client(self, ctx: ClientContext) -> "FlexKVClient":
+        return FlexKVClient(self, ctx)
+
+    @property
+    def slot_size(self) -> int:
+        return 8 + self.config.value_size
+
+    @property
+    def bucket_bytes(self) -> int:
+        return self.config.slots_per_bucket * self.slot_size
+
+    @property
+    def meta_bytes(self) -> int:
+        """CN-resident directory size per partition (8 B per bucket —
+        the fingerprint/lease table a CN-side replica must hold)."""
+        return 8 * self.buckets
+
+    @property
+    def placement_switches(self) -> int:
+        return self.placement.switches
+
+    @staticmethod
+    def _bucket_count(items_per_partition: int, config: FlexKVConfig) -> int:
+        return max(
+            8,
+            int(items_per_partition * config.capacity_factor)
+            // config.slots_per_bucket,
+        )
+
+    @classmethod
+    def directory_bytes(cls, num_keys: int, num_mns: int,
+                        config: Optional[FlexKVConfig] = None) -> int:
+        """Total CN-resident directory footprint for a *num_keys* load.
+
+        Computable before any index exists — experiments use it to pick
+        cache budgets relative to what a fully CN-placed FlexKV needs.
+        """
+        config = config or FlexKVConfig()
+        partitions = config.partitions or 4 * num_mns
+        per_part = max(1, num_keys // partitions)
+        return partitions * 8 * cls._bucket_count(per_part, config)
+
+    # -- addressing (CN-local) ----------------------------------------------
+
+    def partition_of(self, key: int) -> int:
+        return _mix(key, 0x5157) % self.partitions
+
+    def home_mn(self, partition: int) -> int:
+        return self.mn_ids[partition % len(self.mn_ids)]
+
+    def bucket_addr(self, partition: int, key: int, probe: int = 0) -> int:
+        bucket = (_mix(key, 0x7C1F) + probe) % self.buckets
+        return self.part_base[partition] + bucket * self.bucket_bytes
+
+    # -- bulk load -----------------------------------------------------------
+
+    def bulk_load(self, pairs: Sequence[Tuple[int, int]]) -> None:
+        pairs = list(pairs)
+        for (a, _), (b, _) in zip(pairs, pairs[1:]):
+            if a >= b:
+                raise IndexError_("bulk_load requires sorted unique keys")
+        if pairs and pairs[0][0] < 1:
+            raise IndexError_("keys must be >= 1")
+        per_part = max(1, len(pairs) // self.partitions)
+        self.buckets = self._bucket_count(per_part, self.config)
+        for part in range(self.partitions):
+            mn = self.cluster.mns[self.home_mn(part)]
+            self.part_base[part] = mn.allocator.alloc(
+                self.buckets * self.bucket_bytes, align=CACHE_LINE
+            )
+            self.meta_addr[part] = mn.allocator.alloc(
+                self.meta_bytes, align=CACHE_LINE
+            )
+        for mn_id in self.mn_ids:
+            self.cluster.mns[mn_id].register_rpc("flexkv", self._serve_op)
+        for key, value in pairs:
+            if not self._host_upsert(key, value):
+                raise SimulationError(
+                    "flexkv bucket full during bulk load "
+                    "(raise FlexKVConfig.capacity_factor)"
+                )
+        self.loaded_items = len(pairs)
+
+    def _host_write(self, addr: int, data: bytes) -> None:
+        self.cluster.mns[addr_mn(addr)].mem_write(addr, data)
+
+    def _host_read(self, addr: int, length: int) -> bytes:
+        return self.cluster.mns[addr_mn(addr)].mem_read(addr, length)
+
+    # -- MN-side execution (RPC handler) -------------------------------------
+
+    def _host_slot_of(self, key: int) -> Tuple[Optional[int], Optional[int]]:
+        """``(slot_addr_of_key, first_empty_slot_addr)`` along the probe chain.
+
+        Probing stops at the first bucket holding a free slot: with no
+        deletions a key is always placed at the first free slot of its
+        chain, so nothing can live beyond that bucket.
+        """
+        partition = self.partition_of(key)
+        slot_size = self.slot_size
+        for probe in range(self.config.probe_limit):
+            bucket_addr = self.bucket_addr(partition, key, probe)
+            empty_addr = None
+            for i in range(self.config.slots_per_bucket):
+                addr = bucket_addr + i * slot_size
+                stored = decode_key(self._host_read(addr, 8))
+                if stored == key:
+                    return addr, None
+                if stored == 0 and empty_addr is None:
+                    empty_addr = addr
+            if empty_addr is not None:
+                return None, empty_addr
+        return None, None
+
+    def _host_upsert(self, key: int, value: int) -> bool:
+        found, empty = self._host_slot_of(key)
+        addr = found if found is not None else empty
+        if addr is None:
+            return False
+        self._host_write(
+            addr,
+            encode_key(key) + encode_value(value, self.config.value_size),
+        )
+        return True
+
+    def _serve_op(self, request):
+        """Serve ``("flexkv", kind, key, value)`` on the home MN's CPU.
+
+        The handler touches the same region bytes the CN-side one-sided
+        path does, at a single simulation instant (the RPC's service
+        completion), so the two placements never diverge.
+        """
+        _, kind, key, value = request
+        if kind == "search":
+            found, _empty = self._host_slot_of(key)
+            if found is None:
+                return None
+            data = self._host_read(found, self.slot_size)
+            return decode_value(data, 8, size=self.config.value_size)
+        if kind == "insert":
+            if not self._host_upsert(key, value):
+                raise SimulationError(
+                    "flexkv bucket full "
+                    "(raise FlexKVConfig.capacity_factor)"
+                )
+            return True
+        if kind == "update":
+            found, _empty = self._host_slot_of(key)
+            if found is None:
+                return False
+            self._host_write(
+                found + 8, encode_value(value, self.config.value_size)
+            )
+            return True
+        raise SimulationError(f"unknown flexkv op {kind!r}")
+
+    # -- host-side inspection ------------------------------------------------
+
+    def collect_items(self) -> List[Tuple[int, int]]:
+        out: List[Tuple[int, int]] = []
+        slot_size = self.slot_size
+        value_size = self.config.value_size
+        for part in range(self.partitions):
+            base = self.part_base[part]
+            for bucket in range(self.buckets):
+                for i in range(self.config.slots_per_bucket):
+                    addr = base + bucket * self.bucket_bytes + i * slot_size
+                    data = self._host_read(addr, slot_size)
+                    key = decode_key(data)
+                    if key:
+                        out.append(
+                            (key, decode_value(data, 8, size=value_size))
+                        )
+        out.sort()
+        return out
+
+    def remote_memory_bytes(self) -> int:
+        return sum(mn.allocator.bytes_used for mn in self.cluster.mns.values())
+
+
+class FlexKVClient(SpanInstrumentedOps):
+    """Per-client FlexKV operations under the partition's placement."""
+
+    #: Bucket re-reads after a lost slot-claim CAS before giving up.
+    _CLAIM_ATTEMPTS = 4
+
+    def __init__(self, index: FlexKVIndex, ctx: ClientContext) -> None:
+        self.index = index
+        self.ctx = ctx
+        self.qp = ctx.qp
+        self.ops = ctx.ops
+        self.plans = family_plans("flexkv")
+        self.engine = ctx.engine
+
+    # -- the placement decision ----------------------------------------------
+
+    def _ensure_directory(self, partition: int) -> Generator:
+        """CN placement needs the partition directory in the CN cache.
+
+        A hit is free (pure CN-local routing); a miss costs one READ of
+        the directory head to refresh the replica and is reported to
+        the placement policy, which may flip the partition to MN-side.
+        """
+        index = self.index
+        meta_addr = index.meta_addr[partition]
+        cache = self.ctx.cache
+        if cache.get(meta_addr) is not None:
+            index.placement.note_hit(partition)
+            return
+        # Insert before yielding the refresh READ (MSHR-style): clients
+        # of the same CN that miss while the fetch is in flight coalesce
+        # onto it instead of each counting a fresh miss — otherwise a
+        # cold directory looks like thrashing to the placement policy
+        # no matter how roomy the cache is.
+        cache.put(meta_addr, ("flexkv-dir", partition), index.meta_bytes)
+        index.placement.note_miss(partition, self.engine)
+        yield from self.ops.read(meta_addr, 64)
+
+    # -- operations ----------------------------------------------------------
+
+    def search(self, key: int) -> Generator:
+        """Point lookup; returns the value or None."""
+        result = yield from self._op("search", self._dispatch("search", key))
+        return result
+
+    def insert(self, key: int, value: int) -> Generator:
+        """Upsert into the key's bucket (CAS slot claim CN-side)."""
+        yield from self._op("insert", self._dispatch("insert", key, value))
+
+    def update(self, key: int, value: int) -> Generator:
+        """In-place value write; returns True when the key existed."""
+        result = yield from self._op(
+            "update", self._dispatch("update", key, value)
+        )
+        return result
+
+    def _dispatch(self, kind: str, key: int, value: int = 0) -> Generator:
+        index = self.index
+        partition = index.partition_of(key)
+        if index.placement.placement_for(partition) == PLACEMENT_MN:
+            reply = yield from self.ops.offload(
+                index.home_mn(partition),
+                ("flexkv", kind, key, value),
+                self.plans[kind],
+            )
+            return reply
+        yield from self._ensure_directory(partition)
+        if kind == "search":
+            result = yield from self._cn_search(partition, key)
+        elif kind == "insert":
+            result = yield from self._cn_insert(partition, key, value)
+        else:
+            result = yield from self._cn_update(partition, key, value)
+        return result
+
+    # -- CN-side one-sided paths ---------------------------------------------
+
+    def _find(self, data: bytes, key: int) -> Tuple[Optional[int], Optional[int]]:
+        """``(offset_of_key, first_empty_offset)`` within bucket bytes."""
+        slot_size = self.index.slot_size
+        empty = None
+        for i in range(self.index.config.slots_per_bucket):
+            offset = i * slot_size
+            stored = decode_key(data, offset)
+            if stored == key:
+                return offset, empty
+            if stored == 0 and empty is None:
+                empty = offset
+        return None, empty
+
+    def _locate(self, partition: int, key: int) -> Generator:
+        """Walk *key*'s bucket probe chain (one READ per bucket).
+
+        Returns ``(found_addr, empty_addr, value)``: the key's slot
+        address and current value when present, otherwise the first
+        free slot address where an insert belongs (both None when the
+        whole chain is full).
+        """
+        index = self.index
+        for probe in range(index.config.probe_limit):
+            bucket_addr = index.bucket_addr(partition, key, probe)
+            data = yield from self.ops.read(bucket_addr, index.bucket_bytes)
+            offset, empty = self._find(data, key)
+            if offset is not None:
+                value = decode_value(
+                    data, offset + 8, size=index.config.value_size
+                )
+                return bucket_addr + offset, None, value
+            if empty is not None:
+                return None, bucket_addr + empty, None
+        return None, None, None
+
+    def _cn_search(self, partition: int, key: int) -> Generator:
+        found, _empty, value = yield from self._locate(partition, key)
+        return value if found is not None else None
+
+    def _cn_update(self, partition: int, key: int, value: int) -> Generator:
+        found, _empty, _current = yield from self._locate(partition, key)
+        if found is None:
+            return False
+        yield from self.ops.write(
+            found + 8, encode_value(value, self.index.config.value_size)
+        )
+        return True
+
+    def _cn_insert(self, partition: int, key: int, value: int) -> Generator:
+        value_size = self.index.config.value_size
+        for _attempt in range(self._CLAIM_ATTEMPTS):
+            found, empty, _current = yield from self._locate(partition, key)
+            if found is not None:
+                yield from self.ops.write(
+                    found + 8, encode_value(value, value_size)
+                )
+                return
+            if empty is None:
+                raise SimulationError(
+                    "flexkv bucket full "
+                    "(raise FlexKVConfig.capacity_factor)"
+                )
+            # CAS operates on the little-endian u64 word at the slot;
+            # keys are stored big-endian, so swap in the word whose LE
+            # bytes are the key's BE encoding (an empty key field is
+            # all-zero bytes, hence expected 0 either way).
+            key_word = decode_u64(encode_key(key))
+            _old, swapped = yield from self.ops.cas(empty, 0, key_word)
+            if swapped:
+                yield from self.ops.write(
+                    empty + 8, encode_value(value, value_size)
+                )
+                return
+            # Lost the slot race: re-walk the chain and try again.
+        raise SimulationError("flexkv slot-claim CAS starved")

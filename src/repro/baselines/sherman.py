@@ -254,6 +254,8 @@ class ShermanLeafView:
 class ShermanIndex(BTreeIndexBase):
     """Host-side state of a Sherman tree."""
 
+    access_family = "sherman"
+
     def __init__(self, cluster: Cluster,
                  config: Optional[ShermanConfig] = None) -> None:
         self.config = config or ShermanConfig()
@@ -401,11 +403,11 @@ class ShermanClient(BTreeClientBase):
     def _read_leaf(self, addr: int) -> Generator:
         layout = self.layout
         for attempt in range(MAX_RETRIES):
-            raw = yield from self.qp.read(addr, layout.raw_size)
+            raw = yield from self.ops.read(addr, layout.raw_size)
             view = ShermanLeafView(layout, StripedSpan(raw, 0))
             if view.is_consistent():
                 return view
-            self.qp.stats.retries += 1
+            self.ops.stats.retries += 1
             yield self.engine.timeout(backoff_delay(attempt))
         raise TornReadError(f"leaf {addr:#x} never consistent")
 
@@ -447,7 +449,7 @@ class ShermanClient(BTreeClientBase):
         raise TraversalError(f"search({key}) did not converge")
 
     def _read_block(self, block_addr: int, key: int) -> Generator:
-        data = yield from self.qp.read(block_addr, 8 + self.config.value_size)
+        data = yield from self.ops.read(block_addr, 8 + self.config.value_size)
         if decode_key(data) != key:
             raise TornReadError("indirect block key mismatch")
         return decode_value(data, 8, size=self.config.value_size)
@@ -464,18 +466,18 @@ class ShermanClient(BTreeClientBase):
                 if view is None or leaf_addr != ref.leaf_addr:
                     # Routed elsewhere while locking this node: release
                     # and retry from the top (rare).
-                    yield from self.qp.write(lock_addr, encode_u64(0))
+                    yield from self.ops.write(lock_addr, encode_u64(0))
                     continue
                 index = view.find(key)
                 if index is None:
-                    yield from self.qp.write(lock_addr, encode_u64(0))
+                    yield from self.ops.write(lock_addr, encode_u64(0))
                     return False
                 stored = value
                 if self.config.indirect_values:
                     stored = yield from self._write_block(key, value)
                 view.write_entry_value(index, key, stored)
                 raw_off, raw_bytes = view.entry_sub_span(index)
-                yield from self.qp.write_batch([
+                yield from self.ops.write_batch([
                     (leaf_addr + raw_off, raw_bytes),
                     (lock_addr, encode_u64(0)),
                 ])
@@ -486,7 +488,7 @@ class ShermanClient(BTreeClientBase):
 
     def _write_block(self, key: int, value: int) -> Generator:
         addr = yield from self._alloc(8 + self.config.value_size)
-        yield from self.qp.write(addr, encode_key(key)
+        yield from self.ops.write(addr, encode_key(key)
                                  + encode_value(value,
                                                 self.config.value_size))
         return addr
@@ -513,14 +515,14 @@ class ShermanClient(BTreeClientBase):
             try:
                 leaf_addr, view = yield from self._leaf_for(ref, key)
                 if view is None or leaf_addr != ref.leaf_addr:
-                    yield from self.qp.write(lock_addr, encode_u64(0))
+                    yield from self.ops.write(lock_addr, encode_u64(0))
                     released = True
                     continue
                 items = view.items()
                 index = view.find(key)
                 if value is None:
                     if index is None:
-                        yield from self.qp.write(lock_addr, encode_u64(0))
+                        yield from self.ops.write(lock_addr, encode_u64(0))
                         released = True
                         return False
                     items.pop(index)
@@ -542,7 +544,7 @@ class ShermanClient(BTreeClientBase):
                 new_view = ShermanLeafView.compose(
                     layout, items, view.sibling, view.fence_low,
                     view.fence_high, nv=bump_nibble(view.nv))
-                yield from self.qp.write_batch([
+                yield from self.ops.write_batch([
                     (leaf_addr, bytes(new_view.span.data)),
                     (lock_addr, encode_u64(0)),
                 ])
@@ -550,7 +552,7 @@ class ShermanClient(BTreeClientBase):
                 return True
             except BaseException:
                 if not released:
-                    yield from self.qp.write(lock_addr, encode_u64(0))
+                    yield from self.ops.write(lock_addr, encode_u64(0))
                 raise
             finally:
                 self._release_local(lock_addr)
@@ -567,14 +569,14 @@ class ShermanClient(BTreeClientBase):
         new_addr = yield from self._alloc(layout.total_size)
         right_view = ShermanLeafView.compose(
             layout, right_items, view.sibling, pivot, view.fence_high, nv=0)
-        yield from self.qp.write_batch([
+        yield from self.ops.write_batch([
             (new_addr, bytes(right_view.span.data)),
             (new_addr + layout.lock_offset, encode_u64(0)),
         ])
         left_view = ShermanLeafView.compose(
             layout, left_items, new_addr, view.fence_low, pivot,
             nv=bump_nibble(view.nv))
-        yield from self.qp.write_batch([
+        yield from self.ops.write_batch([
             (leaf_addr, bytes(left_view.span.data)),
             (lock_addr, encode_u64(0)),
         ])
@@ -594,7 +596,7 @@ class ShermanClient(BTreeClientBase):
         per_leaf = max(1, int(layout.span * 0.5))
         needed = min(len(candidates), count // per_leaf + 2)
         requests = [(addr, layout.raw_size) for addr in candidates[:needed]]
-        payloads = yield from self.qp.read_batch(requests)
+        payloads = yield from self.ops.read_batch(requests)
         results: List[Tuple[int, int]] = []
         last_view = None
         for addr, data in zip(candidates[:needed], payloads):

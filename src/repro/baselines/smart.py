@@ -28,6 +28,7 @@ from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.compute import ClientContext
+from repro.core.access import family_plans
 from repro.core.sync import MAX_RETRIES, backoff_delay
 from repro.errors import IndexError_, LayoutError
 from repro.layout import decode_key, decode_value, encode_key, encode_value
@@ -360,6 +361,8 @@ class SmartClient:
         self.index = index
         self.ctx = ctx
         self.qp = ctx.qp
+        self.ops = ctx.ops
+        self.plans = family_plans("smart")
         self.engine = ctx.engine
         self.config = index.config
         self._allocators: Dict[int, ChunkAllocator] = {}
@@ -382,7 +385,7 @@ class SmartClient:
 
     def _read_node(self, addr: int, node_type: int,
                    cacheable: bool = True) -> Generator:
-        data = yield from self.qp.read(addr, node_size(node_type))
+        data = yield from self.ops.read(addr, node_size(node_type))
         node = decode_node(addr, data)
         if cacheable:
             self.ctx.cache.put(addr, node, node.size)
@@ -398,7 +401,7 @@ class SmartClient:
         return node, False
 
     def _read_leaf(self, addr: int) -> Generator:
-        data = yield from self.qp.read(addr, self.index.leaf_size)
+        data = yield from self.ops.read(addr, self.index.leaf_size)
         return (decode_key(data),
                 decode_value(data, 8, size=self.config.value_size))
 
@@ -542,7 +545,7 @@ class SmartClient:
 
     def _write_leaf_block(self, key: int, value: int) -> Generator:
         addr = yield from self._alloc(self.index.leaf_size)
-        yield from self.qp.write(
+        yield from self.ops.write(
             addr, encode_key(key)
             + encode_value(value, self.config.value_size))
         return addr
@@ -559,7 +562,7 @@ class SmartClient:
             return done
         leaf_addr = yield from self._write_leaf_block(key, value)
         word = pack_slot(partial, leaf_addr, leaf=True)
-        _old, swapped = yield from self.qp.cas(
+        _old, swapped = yield from self.ops.cas(
             self._slot_addr(node, free), 0, word)
         if swapped:
             self.ctx.cache.invalidate(node.addr)
@@ -569,7 +572,7 @@ class SmartClient:
                      leaf_addr: int, key: int, value: int) -> Generator:
         """Update an existing key: in place, or out-of-place (RCU)."""
         if not self.config.rcu_updates:
-            yield from self.qp.write(
+            yield from self.ops.write(
                 leaf_addr + 8, encode_value(value, self.config.value_size))
             return True
         if word & SEAL_BIT:
@@ -577,7 +580,7 @@ class SmartClient:
         new_leaf = yield from self._write_leaf_block(key, value)
         _occ, partial, _a, _l, _t = unpack_slot(word)
         new_word = pack_slot(partial, new_leaf, leaf=True)
-        _old, swapped = yield from self.qp.cas(
+        _old, swapped = yield from self.ops.cas(
             self._slot_addr(node, slot), word, new_word)
         if swapped:
             self.ctx.cache.invalidate(node.addr)
@@ -605,11 +608,11 @@ class SmartClient:
         branch = RadixNode(NULL_ADDR, NODE4, depth,
                            existing[depth:divergence], slots)
         branch.addr = yield from self._alloc(branch.size)
-        yield from self.qp.write(branch.addr, encode_node(branch))
+        yield from self.ops.write(branch.addr, encode_node(branch))
         _occ, partial, _a, _l, _t = unpack_slot(word)
         new_word = pack_slot(partial, branch.addr, leaf=False,
                              node_type=NODE4)
-        _old, swapped = yield from self.qp.cas(
+        _old, swapped = yield from self.ops.cas(
             self._slot_addr(node, slot), word, new_word)
         if swapped:
             self.ctx.cache.invalidate(node.addr)
@@ -625,24 +628,24 @@ class SmartClient:
                     break  # another structural op already sealed this slot
                 target = (current | SEAL_BIT) if current & _OCCUPIED \
                     else EMPTY_SEALED
-                old, swapped = yield from self.qp.cas(
+                old, swapped = yield from self.ops.cas(
                     self._slot_addr(node, index), current, target)
                 if swapped:
                     break
                 current = old  # lost to a concurrent install; retry
             else:
                 raise IndexError_("slot sealing did not converge")
-        data = yield from self.qp.read(node.addr, node.size)
+        data = yield from self.ops.read(node.addr, node.size)
         return decode_node(node.addr, data)
 
     def _unseal_node(self, node: RadixNode) -> Generator:
         """Undo sealing after a failed structural change."""
         for index, word in enumerate(node.slots):
             if word == EMPTY_SEALED:
-                yield from self.qp.cas(self._slot_addr(node, index),
+                yield from self.ops.cas(self._slot_addr(node, index),
                                        EMPTY_SEALED, 0)
             elif word & SEAL_BIT:
-                yield from self.qp.cas(self._slot_addr(node, index), word,
+                yield from self.ops.cas(self._slot_addr(node, index), word,
                                        word & ~SEAL_BIT)
 
     def _upgrade_node(self, node: RadixNode, parent_info, partial: int,
@@ -679,11 +682,11 @@ class SmartClient:
         bigger = RadixNode(NULL_ADDR, new_type, node.depth, node.prefix,
                            slots)
         bigger.addr = yield from self._alloc(bigger.size)
-        yield from self.qp.write(bigger.addr, encode_node(bigger))
+        yield from self.ops.write(bigger.addr, encode_node(bigger))
         _occ, parent_partial, _a, _l, _t = unpack_slot(parent_word)
         new_parent_word = pack_slot(parent_partial, bigger.addr, leaf=False,
                                     node_type=new_type)
-        _old, swapped = yield from self.qp.cas(
+        _old, swapped = yield from self.ops.cas(
             self._slot_addr(parent, parent_slot), parent_word,
             new_parent_word)
         if swapped:
@@ -717,7 +720,7 @@ class SmartClient:
         copy = RadixNode(NULL_ADDR, sealed.node_type, branch_depth + 1,
                          full_prefix[divergence + 1:], copy_slots)
         copy.addr = yield from self._alloc(copy.size)
-        yield from self.qp.write(copy.addr, encode_node(copy))
+        yield from self.ops.write(copy.addr, encode_node(copy))
         leaf_addr = yield from self._write_leaf_block(key, value)
         slots = [0] * SLOT_COUNTS[NODE4]
         slots[0] = pack_slot(full_prefix[divergence], copy.addr, leaf=False,
@@ -726,11 +729,11 @@ class SmartClient:
         branch = RadixNode(NULL_ADDR, NODE4, node.depth,
                            full_prefix[:divergence], slots)
         branch.addr = yield from self._alloc(branch.size)
-        yield from self.qp.write(branch.addr, encode_node(branch))
+        yield from self.ops.write(branch.addr, encode_node(branch))
         _occ, parent_partial, _a, _l, _t = unpack_slot(parent_word)
         new_parent_word = pack_slot(parent_partial, branch.addr, leaf=False,
                                     node_type=NODE4)
-        _old, swapped = yield from self.qp.cas(
+        _old, swapped = yield from self.ops.cas(
             self._slot_addr(parent, parent_slot), parent_word,
             new_parent_word)
         if swapped:
@@ -764,7 +767,7 @@ class SmartClient:
                 leaf_key, _value = yield from self._read_leaf(child)
                 if leaf_key != key:
                     return False
-                _old, swapped = yield from self.qp.cas(
+                _old, swapped = yield from self.ops.cas(
                     self._slot_addr(node, slot), word, 0)
                 if swapped:
                     self.ctx.cache.invalidate(node.addr)
@@ -789,7 +792,7 @@ class SmartClient:
             batch = leaf_words[start:start + 32]
             requests = [(unpack_slot(w)[2], self.index.leaf_size)
                         for w in batch]
-            payloads = yield from self.qp.read_batch(requests)
+            payloads = yield from self.ops.read_batch(requests)
             for data in payloads:
                 item_key = decode_key(data)
                 if item_key >= key:

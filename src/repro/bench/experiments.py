@@ -284,6 +284,90 @@ def fig12_ycsb(scale: Optional[Scale] = None,
 
 
 # --------------------------------------------------------------------------
+# Figure 12 companion — hash-routed / offloaded point-workload families
+# --------------------------------------------------------------------------
+
+#: fig12 extended with the placement-aware KV families.  Scan-free
+#: point mixes only: outback and flexkv index discrete KV pairs and
+#: support no range scans (``supports_scan=False``).
+POINT_INDEXES = ("chime", "sherman", "outback", "flexkv")
+
+
+def fig12_point_families(scale: Optional[Scale] = None,
+                         workloads: Sequence[str] = ("C", "A", "D", "F"),
+                         indexes: Sequence[str] = POINT_INDEXES,
+                         client_sweep: Optional[Sequence[int]] = None,
+                         seed: Optional[int] = None) -> List[Dict]:
+    """Fig-12-style comparison across execution placements.
+
+    Same sweep shape as :func:`fig12_ycsb`, restricted to point
+    workloads, with one column per access-path placement: CHIME /
+    Sherman traverse CN-side over one-sided verbs, Outback hash-routes
+    through a CN-resident MPH to a one-RTT slot access, and FlexKV
+    executes per-partition either CN-side or MN-offloaded.  Each row
+    carries the family's ``default_placement`` so the table reads as a
+    placement comparison, not just an index comparison.
+    """
+    scale = scale or current_scale()
+    sweep = client_sweep or scale.client_sweep
+    specs = [
+        PointSpec(index_name, workload, scale.num_keys,
+                  scale.ops_per_client,
+                  scale.cluster_config(clients=clients, seed=seed),
+                  key_space=scale.key_space,
+                  chime_overrides=scale.chime_overrides()
+                  if get_family(index_name).accepts_overrides else None,
+                  extra=(("placement",
+                          get_family(index_name).default_placement),))
+        for workload in workloads
+        for index_name in indexes
+        for clients in sweep
+    ]
+    return sweep_rows(specs)
+
+
+def figplacement(scale: Optional[Scale] = None,
+                 footprint_fractions: Sequence[float] = (4.0, 1.0, 0.5, 0.1),
+                 seed: Optional[int] = None) -> List[Dict]:
+    """FlexKV dynamic placement under a shrinking CN cache budget.
+
+    One YCSB-C run per cache budget, anchored to the FlexKV *directory
+    footprint* for the preset's key count (the preset cache is sized
+    for tree inner nodes, which say nothing about whether a flat hash
+    directory fits).  With a roomy multiple every partition directory
+    stays resident and execution remains CN-side; as the budget shrinks
+    below the footprint, directory misses accumulate and the
+    cache-pressure policy flips partitions to MN-side offload
+    (``placement.switch`` events, surfaced as the ``switches`` /
+    ``mn_partitions`` columns).  The system converges to keeping
+    CN-side exactly what fits.
+    """
+    from repro.baselines.flexkv import FlexKVIndex
+
+    scale = scale or current_scale()
+    rows: List[Dict] = []
+    base = scale.cluster_config(seed=seed)
+    footprint = FlexKVIndex.directory_bytes(scale.num_keys, base.num_mns)
+    for fraction in footprint_fractions:
+        cache_bytes = max(1024, int(footprint * fraction))
+        config = base.scaled(cache_bytes=cache_bytes)
+        result = run_point("flexkv", "C", scale.num_keys,
+                           scale.ops_per_client, config,
+                           key_space=scale.key_space)
+        rows.append({
+            "index": "flexkv",
+            "workload": "C",
+            "cache_bytes": cache_bytes,
+            "throughput_mops": round(result.throughput_mops, 4),
+            "p50_us": result.summary().get("p50_us", 0.0),
+            "switches": int(result.notes.get("placement.switches", 0)),
+            "mn_partitions": int(
+                result.notes.get("placement.mn_partitions", 0)),
+        })
+    return rows
+
+
+# --------------------------------------------------------------------------
 # Figure 12 companion — multi-MN key-space sharding
 # --------------------------------------------------------------------------
 

@@ -83,6 +83,10 @@ class PointSpec:
     #: and then the cluster config (the historical behavior); campaigns
     #: pin it so a stored point can never depend on ambient environment.
     depth: Optional[int] = None
+    #: Index placement mode pinned for this point ("cn"/"mn"/"auto").
+    #: None leaves ``REPRO_PLACEMENT`` ambient (figure sweeps); campaigns
+    #: always pin it for the same reason as ``depth``.
+    placement: Optional[str] = None
     extra: Tuple[Tuple[str, Any], ...] = ()
 
     def with_extra(self, **fields: Any) -> "PointSpec":
@@ -92,16 +96,31 @@ class PointSpec:
 
 def run_spec(spec: PointSpec) -> RunResult:
     """Execute one point (also the worker entry point — must pickle)."""
-    return run_point(
-        spec.index_name, spec.workload_name, spec.num_keys,
-        spec.ops_per_client, spec.cluster_config,
-        value_size=spec.value_size, span=spec.span,
-        neighborhood=spec.neighborhood, theta=spec.theta,
-        chime_overrides=dict(spec.chime_overrides)
-        if spec.chime_overrides is not None else None,
-        key_space=spec.key_space,
-        unlimited_cache_for=spec.unlimited_cache_for,
-        depth=spec.depth)
+    env_token: Any = 0  # sentinel distinct from None (= var was unset)
+    if spec.placement is not None:
+        from repro.baselines.flexkv import PLACEMENT_ENV
+
+        env_token = os.environ.get(PLACEMENT_ENV)
+        os.environ[PLACEMENT_ENV] = spec.placement
+    try:
+        return run_point(
+            spec.index_name, spec.workload_name, spec.num_keys,
+            spec.ops_per_client, spec.cluster_config,
+            value_size=spec.value_size, span=spec.span,
+            neighborhood=spec.neighborhood, theta=spec.theta,
+            chime_overrides=dict(spec.chime_overrides)
+            if spec.chime_overrides is not None else None,
+            key_space=spec.key_space,
+            unlimited_cache_for=spec.unlimited_cache_for,
+            depth=spec.depth)
+    finally:
+        if spec.placement is not None:
+            from repro.baselines.flexkv import PLACEMENT_ENV
+
+            if env_token is None:
+                del os.environ[PLACEMENT_ENV]
+            else:
+                os.environ[PLACEMENT_ENV] = env_token
 
 
 def run_sweep(specs: Iterable[PointSpec],

@@ -74,22 +74,37 @@ PARTITIONED_POINT = 2
 SHARD_SWEEP_MNS = (1, 2, 4)
 SHARD_SWEEP_CLIENTS = 24
 
+#: The placement section's pinned points (uniform read-only YCSB-C,
+#: theta = 0): ``outback`` must beat ``chime`` on simulated Mops (its
+#: one-RTT hash routing vs the tree's cached traversal — the Outback
+#: paper's headline point), and a ``flexkv`` run whose CN cache is a
+#: tenth of the directory footprint must flip at least one partition
+#: to MN-side execution (``switches``).
+PLACEMENT_INDEXES = ("chime", "outback")
+PLACEMENT_CACHE_DIVISOR = 10
+
 
 def _perf_point(index_name: str, depth: int = 1,
                 clients: Optional[int] = None,
-                num_mns: Optional[int] = None) -> Dict:
+                num_mns: Optional[int] = None,
+                theta: float = 0.99,
+                cache_bytes: Optional[int] = None) -> Dict:
     """One YCSB-C point with engine-level event accounting.
 
     Mirrors ``run_point`` but keeps the cluster visible so the event
     counter can be read without polluting ``RunResult.notes`` (which
     would change every experiment's summary columns).  *depth* is the
     pipeline depth (op coroutines per client, see :mod:`repro.sched`);
-    *num_mns*, when given, shards the key space one sub-tree per MN.
+    *num_mns*, when given, shards the key space one sub-tree per MN;
+    *theta* and *cache_bytes* override the zipf skew and CN cache
+    budget (the placement section pins uniform / constrained points).
     """
     scale = PERF_SCALE
     config = scale.cluster_config(clients=clients or scale.clients,
                                   num_mns=num_mns,
                                   num_shards=num_mns)
+    if cache_bytes is not None:
+        config = config.scaled(cache_bytes=cache_bytes)
     cluster = Cluster(config)
     family = get_family(index_name)
     index = build_index(index_name, cluster,
@@ -99,7 +114,7 @@ def _perf_point(index_name: str, depth: int = 1,
                     seed=config.seed)
     spec = WORKLOADS["C"]
     context = WorkloadContext(spec, [k for k, _ in pairs],
-                              seed=config.seed, theta=0.99)
+                              seed=config.seed, theta=theta)
     context.expected_insert_budget = 64
     load_index(index, pairs, "C", context)
     events_before = cluster.engine.events_processed
@@ -108,7 +123,7 @@ def _perf_point(index_name: str, depth: int = 1,
                           context, depth=depth)
     wall = time.perf_counter() - started
     events = cluster.engine.events_processed - events_before
-    return {
+    point = {
         "wall_s": round(wall, 3),
         "events": events,
         "events_per_sec": round(events / wall, 1),
@@ -116,6 +131,11 @@ def _perf_point(index_name: str, depth: int = 1,
         "ops_per_sec": round(result.ops_completed / wall, 1),
         "sim_throughput_mops": round(result.throughput_mops, 4),
     }
+    if "placement.switches" in result.notes:
+        point["switches"] = int(result.notes["placement.switches"])
+        point["mn_partitions"] = int(
+            result.notes.get("placement.mn_partitions", 0))
+    return point
 
 
 def _partitioned_point(serial: Dict) -> Dict:
@@ -217,6 +237,17 @@ def run_suite(jobs: Optional[int] = None) -> Dict:
         point["num_mns"] = num_mns
         report["shard_sweep"][f"mns{num_mns}"] = point
 
+    from repro.baselines.flexkv import FlexKVIndex
+    placement: Dict = {"theta": 0.0}
+    for index_name in PLACEMENT_INDEXES:
+        placement[index_name] = _perf_point(index_name, theta=0.0)
+    footprint = FlexKVIndex.directory_bytes(PERF_SCALE.num_keys,
+                                            PERF_SCALE.num_mns)
+    placement["flexkv_constrained"] = _perf_point(
+        "flexkv", theta=0.0,
+        cache_bytes=max(1024, footprint // PLACEMENT_CACHE_DIVISOR))
+    report["placement"] = placement
+
     specs = _sweep_specs()
     started = time.perf_counter()
     serial_results = run_sweep(specs, jobs=1)
@@ -299,6 +330,31 @@ def check_report(report: Dict, baseline: Dict,
                 problems.append(
                     f"shard_sweep: {mns} MNs did not raise aggregate "
                     f"simulated Mops ({prev} -> {nxt})")
+    placement = report.get("placement", {})
+    base_placement = baseline.get("placement", {})
+    for key, point in placement.items():
+        if not isinstance(point, dict):
+            continue
+        base = base_placement.get(key)
+        if isinstance(base, dict) and point["events"] != base["events"]:
+            problems.append(
+                f"placement {key}: event count drifted "
+                f"({base['events']} -> {point['events']})")
+    chime_uniform = placement.get("chime")
+    outback_uniform = placement.get("outback")
+    if chime_uniform is not None and outback_uniform is not None:
+        if (outback_uniform["sim_throughput_mops"]
+                <= chime_uniform["sim_throughput_mops"]):
+            problems.append(
+                "placement: outback's one-RTT lookups did not beat chime "
+                "on the uniform read-only point "
+                f"({chime_uniform['sim_throughput_mops']} vs "
+                f"{outback_uniform['sim_throughput_mops']})")
+    constrained = placement.get("flexkv_constrained")
+    if constrained is not None and constrained.get("switches", 0) < 1:
+        problems.append(
+            "placement: the cache-constrained flexkv point flipped no "
+            "partition to MN-side execution")
     partitioned = report.get("partitioned")
     if partitioned is not None:
         if not partitioned["matches_serial"]:

@@ -81,6 +81,7 @@ def run_workload(cluster: Cluster, index, workload_name: str,
     # reflects this run — bulk load, warm-up traffic, or a previous run
     # on the same cluster must not pollute it.
     cache_before = [(cn.cache.hits, cn.cache.misses) for cn in cluster.cns]
+    switches_before = getattr(index, "placement_switches", None)
     start_time = cluster.engine.now
 
     run = launch_clients(cluster, index, context, ops_per_client, warmup,
@@ -110,6 +111,14 @@ def run_workload(cluster: Cluster, index, workload_name: str,
         parked = run.lanes_parked
         if parked:
             result.notes["sched.lanes_parked"] = float(parked)
+    if switches_before is not None:
+        # Dynamic-placement families report how many partitions the
+        # policy moved during this run and where they ended up.
+        result.notes["placement.switches"] = float(
+            index.placement_switches - switches_before)
+        table = index.placement.table()
+        result.notes["placement.mn_partitions"] = float(
+            sum(1 for target in table.values() if target == "mn"))
     recording = active_recording()
     if recording is not None:
         result.notes.update(recording.notes())

@@ -61,6 +61,8 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fig4": (exp.fig4_micro, True),
     "table1": (exp.table1_rtts, True),
     "fig12": (exp.fig12_ycsb, True),
+    "figpoint": (exp.fig12_point_families, True),
+    "figplacement": (exp.figplacement, True),
     "figshard": (exp.figshard_scaleout, True),
     "fig13": (exp.fig13_variable_kv, True),
     "fig14": (exp.fig14_cache_consumption, True),
@@ -123,6 +125,9 @@ def _list_indexes() -> None:
              "kv_discrete": f.kv_discrete, "scan": f.supports_scan,
              "chaos": f.supports_chaos, "indirect": f.indirect_values,
              "model_routed": f.model_routed,
+             "one_rtt": f.one_rtt_point, "offload": f.mn_offload,
+             "dyn_place": f.dynamic_placement,
+             "placement": f.default_placement,
              "description": f.description}
             for f in families()]
     print(format_table(rows, title="registered index families"))
@@ -387,6 +392,8 @@ def _cmd_chaos(args) -> int:
     from repro.faults import ChaosConfig, run_chaos
 
     overrides: dict = {"seed": args.seed, "lock_leases": not args.no_leases}
+    if args.index:
+        overrides["index"] = args.index
     if args.sync_mode is not None:
         overrides["sync_mode"] = args.sync_mode
     if args.crash is not None:
@@ -518,7 +525,8 @@ def _campaign_plan(args):
                  value_size=args.value_size, theta=args.theta,
                  span=args.span, neighborhood=args.neighborhood,
                  sync_mode=args.sync_mode,
-                 num_mns=args.num_mns, cache_mode=args.cache_mode)
+                 num_mns=args.num_mns, cache_mode=args.cache_mode,
+                 placement=args.placement)
         for index in indexes
         for workload in workloads
         for count in clients)
@@ -759,6 +767,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     chaos_parser = sub.add_parser(
         "chaos", help="run a seeded fault-injection campaign against CHIME")
+    chaos_parser.add_argument("--index", default=None,
+                              help="index family under test (default: "
+                                   "chime; any registry family with "
+                                   "supports_chaos)")
     chaos_parser.add_argument("--seed", type=int, default=7,
                               help="campaign seed (workload + fault draws)")
     chaos_parser.add_argument("--crash", default=None, metavar="SPEC",
@@ -861,6 +873,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                       choices=("shared", "partitioned"),
                       help="CN cache admission under sharding pinned "
                            "per point (default: shared)")
+    crun.add_argument("--placement", default="auto",
+                      choices=("cn", "mn", "auto"),
+                      help="index placement pinned per point; read by "
+                           "placement-aware families such as flexkv "
+                           "(default: auto)")
     crun.add_argument("--seeds", type=int, default=3, metavar="N",
                       help="replicates per cell (default: 3)")
     crun.add_argument("--seed-base", type=int, default=None, metavar="S",
@@ -912,6 +929,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="head commit (default: newest stored)")
 
     args = parser.parse_args(argv)
+
+    from repro.config import unknown_env_vars
+    for name in unknown_env_vars():
+        print(f"warning: unrecognized environment variable {name} "
+              f"(no REPRO_* knob by that name; typo?)", file=sys.stderr)
 
     if args.command == "list":
         try:

@@ -9,13 +9,57 @@ simulated datasets: the paper runs 60 M keys with a 100 MB cache and a
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import List, Mapping, Optional
 
 from repro.rdma.nic import NicSpec
 from repro.retry import RetryPolicy
 
 #: The paper's dataset size; used as the budget-scaling reference.
 PAPER_DATASET_SIZE = 60_000_000
+
+#: Every ``REPRO_*`` environment knob any layer resolves.  Modules that
+#: define a knob keep their own ``*_ENV`` constant next to the consuming
+#: code; this central list exists so the CLI can warn about typos
+#: (``REPRO_DETPH=4`` silently doing nothing) at startup.  Keep it in
+#: sync when adding a knob — ``tests/test_access.py`` cross-checks the
+#: constants it can import.
+KNOWN_ENV_VARS = frozenset(
+    {
+        "REPRO_CACHE_MODE",      # bench.scale: CN cache admission mode
+        "REPRO_CAMPAIGN_DB",     # xpmt.record: campaign store path
+        "REPRO_CAMPAIGN_ID",     # xpmt.record: campaign id override
+        "REPRO_COMMIT",          # xpmt.spec: commit hash override
+        "REPRO_DEPTH",           # sched: op coroutines per client
+        "REPRO_JOBS",            # bench.parallel: sweep worker count
+        "REPRO_NUM_MNS",         # bench.scale: memory node count
+        "REPRO_PARTITIONS",      # bench.partition: partition processes
+        "REPRO_PARTITION_WINDOW",  # bench.partition: lookahead factor
+        "REPRO_PLACEMENT",       # baselines.flexkv: cn / mn / auto
+        "REPRO_REBALANCE",       # bench.scale: hot-shard rebalancer
+        "REPRO_SCALE",           # bench.scale: preset name
+        "REPRO_SEED",            # bench.scale: RNG seed override
+        "REPRO_SHARDS",          # bench.scale: key-space shard count
+        "REPRO_SIM_QUEUE",       # sim.engine: event queue implementation
+        "REPRO_SYNC_MODE",       # bench.scale: lock synchronization mode
+    }
+)
+
+
+def unknown_env_vars(environ: Optional[Mapping[str, str]] = None) -> List[str]:
+    """``REPRO_*`` names present in *environ* but known to no layer.
+
+    The CLI warns about these at startup; a typoed knob otherwise
+    silently falls back to its default.
+    """
+    if environ is None:
+        import os
+
+        environ = os.environ
+    return sorted(
+        key
+        for key in environ
+        if key.startswith("REPRO_") and key not in KNOWN_ENV_VARS
+    )
 
 #: The paper's per-CN cache budget (100 MB) and hotspot buffer (30 MB).
 PAPER_CACHE_BYTES = 100 * 1024 * 1024

@@ -1,0 +1,510 @@
+"""The layered access path: traversal plans, placement, and execution.
+
+Every index family used to hardwire the CHIME/Sherman assumption that
+the structure lives in MN memory but is *traversed from the CN* over
+multi-RTT one-sided verbs.  Outback routes each point lookup through a
+CN-resident minimal perfect hash to reach the value in one RTT, and
+FlexKV moves whole operations to the MN CPU when CN cache pressure makes
+CN-side traversal a bad deal — "where the index logic runs and how many
+RTTs it costs" has to be a first-class, swappable layer.  This module
+provides the three layers:
+
+1. **Traversal plans** — :class:`TraversalPlan`: a declarative sequence
+   of :class:`AccessStep` remote-access steps (read-root, leaf-read,
+   lock-CAS, write-back, ...) describing what an operation does to
+   remote memory.  Plans are *descriptors*: the executor consults them
+   for round-trip accounting (``min_rtts``), the MN offload path derives
+   its service time from them, and tests assert them against the
+   registry's capability flags so a descriptor cannot silently lie.
+
+2. **Placement policies** — :class:`StaticPlacement` and
+   :class:`CachePressurePlacement` decide, per partition, whether a plan
+   executes CN-side (classic CHIME/Sherman traversal), MN-side (FlexKV
+   offload: the plan collapses to one RPC-style verb whose MN-local
+   service time is modeled by
+   :class:`repro.sim.resources.OffloadCostModel`), or hash-routed
+   (Outback: a CN-local MPH lookup then one READ/WRITE).
+
+3. **The comm executor** — :class:`PlanExecutor`, instantiated per
+   :class:`~repro.cluster.compute.ClientContext`.  CN-side verbs bind
+   1:1 to the queue pair's bound methods, so plans run through the
+   existing NIC/fault/obs machinery with byte-identical event sequences
+   and zero per-call overhead; the MN-side path wraps a host-side
+   handler invocation in a single ``rpc`` verb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.obs.bus import BUS
+from repro.sim.resources import OffloadCostModel
+
+__all__ = [
+    "AccessStep",
+    "CachePressurePlacement",
+    "PLACEMENTS",
+    "PLACEMENT_CN",
+    "PLACEMENT_HASH",
+    "PLACEMENT_MN",
+    "PLAN_TABLES",
+    "PlanExecutor",
+    "StaticPlacement",
+    "TraversalPlan",
+    "family_plans",
+    "step",
+]
+
+#: Where an operation's index logic runs.
+PLACEMENT_CN = "cn"  # CN-side traversal over one-sided verbs (CHIME/Sherman)
+PLACEMENT_MN = "mn"  # MN-side offload: one RPC, MN CPU walks the structure
+PLACEMENT_HASH = "hash"  # hash-routed: CN-local MPH then one READ/WRITE
+
+PLACEMENTS = (PLACEMENT_CN, PLACEMENT_MN, PLACEMENT_HASH)
+
+#: Verbs a plan step may name.  ``local`` marks CN-local work (an MPH
+#: probe, a cache lookup) that costs no round trip; everything else maps
+#: onto an :class:`~repro.rdma.verbs.RdmaQp` verb of the same name.
+PLAN_VERBS = frozenset(
+    {
+        "read",
+        "read_batch",
+        "write",
+        "write_batch",
+        "cas",
+        "masked_cas",
+        "faa",
+        "rpc",
+        "local",
+    }
+)
+
+
+@dataclass(frozen=True)
+class AccessStep:
+    """One remote-access step of a traversal plan."""
+
+    #: Verb name (a member of :data:`PLAN_VERBS`).
+    verb: str
+    #: What the step accomplishes ("read-root", "lock-cas", ...).
+    purpose: str
+    #: Optional steps only run on some executions (cache miss, retry,
+    #: sibling chase); they are excluded from ``min_rtts``.
+    optional: bool = False
+
+    def __post_init__(self) -> None:
+        if self.verb not in PLAN_VERBS:
+            raise ValueError(
+                f"unknown plan verb {self.verb!r} (known: {sorted(PLAN_VERBS)})"
+            )
+
+
+def step(verb: str, purpose: str, optional: bool = False) -> AccessStep:
+    """Shorthand constructor for plan tables."""
+    return AccessStep(verb, purpose, optional)
+
+
+@dataclass(frozen=True)
+class TraversalPlan:
+    """A declarative remote-access sequence for one operation kind."""
+
+    name: str
+    steps: Tuple[AccessStep, ...]
+    description: str = ""
+
+    @property
+    def verbs(self) -> Tuple[str, ...]:
+        return tuple(s.verb for s in self.steps)
+
+    @property
+    def min_rtts(self) -> int:
+        """Round trips on the fast path (non-optional, non-local steps)."""
+        return sum(1 for s in self.steps if not s.optional and s.verb != "local")
+
+    @property
+    def offload_steps(self) -> int:
+        """Work units the MN CPU performs when the plan runs MN-side:
+        every step the CN would otherwise have issued becomes one
+        MN-local structure access (optional steps included — the MN
+        walks the real structure, not the fast path)."""
+        return sum(1 for s in self.steps if s.verb != "local")
+
+
+# ---------------------------------------------------------------------------
+# Plan tables: one per structural family, keyed by operation kind.  These
+# describe the fast path of each ported hot path; optional steps mark the
+# retry/chase/split work that only some executions pay.
+# ---------------------------------------------------------------------------
+
+CHIME_PLANS: Dict[str, TraversalPlan] = {
+    "search": TraversalPlan(
+        "chime.search",
+        (
+            step("local", "cache-probe"),
+            step("read", "read-internal", optional=True),
+            step("read_batch", "leaf-read+hotspot-probe"),
+            step("read", "sibling-chase", optional=True),
+        ),
+        "cached traversal, then one doorbell leaf read",
+    ),
+    "insert": TraversalPlan(
+        "chime.insert",
+        (
+            step("local", "cache-probe"),
+            step("read", "read-internal", optional=True),
+            step("masked_cas", "lock-cas+vacancy-piggyback"),
+            step("read_batch", "leaf-read"),
+            step("write_batch", "entry-write+unlock-doorbell"),
+            step("write_batch", "split-write", optional=True),
+        ),
+        "lock, doorbell-batched entry write riding the unlock",
+    ),
+    "update": TraversalPlan(
+        "chime.update",
+        (
+            step("local", "cache-probe"),
+            step("read", "read-internal", optional=True),
+            step("masked_cas", "lock-cas"),
+            step("read_batch", "leaf-read"),
+            step("write_batch", "entry-write+unlock-doorbell"),
+        ),
+        "in-place entry update under the leaf lock",
+    ),
+    "scan": TraversalPlan(
+        "chime.scan",
+        (
+            step("local", "cache-probe"),
+            step("read", "read-internal", optional=True),
+            step("read_batch", "leaf-range-read"),
+            step("read", "sibling-chase", optional=True),
+        ),
+        "doorbell-batched leaf range read along the sibling chain",
+    ),
+}
+
+SHERMAN_PLANS: Dict[str, TraversalPlan] = {
+    "search": TraversalPlan(
+        "sherman.search",
+        (
+            step("local", "cache-probe"),
+            step("read", "read-internal", optional=True),
+            step("read", "whole-leaf-read"),
+            step("read", "sibling-chase", optional=True),
+        ),
+        "cached traversal, then the defining whole-leaf READ",
+    ),
+    "insert": TraversalPlan(
+        "sherman.insert",
+        (
+            step("local", "cache-probe"),
+            step("read", "read-internal", optional=True),
+            step("masked_cas", "lock-cas"),
+            step("read", "whole-leaf-read"),
+            step("write_batch", "node-rewrite+unlock-doorbell"),
+            step("write_batch", "split-write", optional=True),
+        ),
+        "sorted-array shift: whole-node rewrite under the lock",
+    ),
+    "update": TraversalPlan(
+        "sherman.update",
+        (
+            step("local", "cache-probe"),
+            step("read", "read-internal", optional=True),
+            step("masked_cas", "lock-cas"),
+            step("read", "whole-leaf-read"),
+            step("write_batch", "entry-write+unlock-doorbell"),
+        ),
+        "fine-grained entry update under the leaf lock",
+    ),
+    "scan": TraversalPlan(
+        "sherman.scan",
+        (
+            step("local", "cache-probe"),
+            step("read", "read-internal", optional=True),
+            step("read_batch", "leaf-range-read"),
+            step("read", "sibling-chase", optional=True),
+        ),
+        "doorbell-batched whole-leaf reads along the chain",
+    ),
+}
+
+SMART_PLANS: Dict[str, TraversalPlan] = {
+    "search": TraversalPlan(
+        "smart.search",
+        (
+            step("local", "path-cache-probe"),
+            step("read", "radix-node-read", optional=True),
+            step("read", "leaf-read"),
+        ),
+        "cached radix descent, then one discrete-leaf READ",
+    ),
+    "insert": TraversalPlan(
+        "smart.insert",
+        (
+            step("local", "path-cache-probe"),
+            step("read", "radix-node-read", optional=True),
+            step("write", "leaf-write"),
+            step("cas", "slot-cas"),
+            step("write", "node-expand", optional=True),
+        ),
+        "lock-free slot CAS installing a freshly written leaf",
+    ),
+    "update": TraversalPlan(
+        "smart.update",
+        (
+            step("local", "path-cache-probe"),
+            step("read", "radix-node-read", optional=True),
+            step("read", "leaf-read"),
+            step("write", "leaf-write"),
+            step("cas", "slot-cas", optional=True),
+        ),
+        "in-place (or RCU out-of-place) leaf update",
+    ),
+    "scan": TraversalPlan(
+        "smart.scan",
+        (
+            step("local", "path-cache-probe"),
+            step("read", "radix-node-read", optional=True),
+            step("read_batch", "leaf-batch-read"),
+        ),
+        "subtree enumeration with doorbell-batched leaf reads",
+    ),
+}
+
+OUTBACK_PLANS: Dict[str, TraversalPlan] = {
+    "search": TraversalPlan(
+        "outback.search",
+        (
+            step("local", "mph-lookup"),
+            step("read", "slot-read"),
+            step("read", "overflow-bucket-read", optional=True),
+        ),
+        "CN-local MPH slot computation, then exactly one READ",
+    ),
+    "insert": TraversalPlan(
+        "outback.insert",
+        (
+            step("local", "mph-lookup"),
+            step("read", "slot-read"),
+            step("write", "slot-write", optional=True),
+            step("rpc", "overflow-insert", optional=True),
+        ),
+        "slot upsert for MPH-domain keys; overflow RPC for new keys",
+    ),
+    "update": TraversalPlan(
+        "outback.update",
+        (
+            step("local", "mph-lookup"),
+            step("read", "slot-read"),
+            step("write", "slot-write"),
+            step("read", "overflow-bucket-read", optional=True),
+        ),
+        "read-verify-write on the MPH slot",
+    ),
+}
+
+FLEXKV_PLANS: Dict[str, TraversalPlan] = {
+    "search": TraversalPlan(
+        "flexkv.search",
+        (
+            step("local", "partition-route"),
+            step("read", "directory-read", optional=True),
+            step("read", "bucket-read"),
+            step("read", "bucket-probe-chase", optional=True),
+        ),
+        "CN-side: routing metadata (cached under budget) then bucket READ",
+    ),
+    "insert": TraversalPlan(
+        "flexkv.insert",
+        (
+            step("local", "partition-route"),
+            step("read", "directory-read", optional=True),
+            step("read", "bucket-read"),
+            step("cas", "slot-claim-cas"),
+            step("write", "value-write"),
+        ),
+        "CN-side: claim an empty slot by CAS, then write the value",
+    ),
+    "update": TraversalPlan(
+        "flexkv.update",
+        (
+            step("local", "partition-route"),
+            step("read", "directory-read", optional=True),
+            step("read", "bucket-read"),
+            step("write", "slot-write"),
+        ),
+        "CN-side: probe the bucket, write the matching slot",
+    ),
+    "delete": TraversalPlan(
+        "flexkv.delete",
+        (
+            step("local", "partition-route"),
+            step("read", "directory-read", optional=True),
+            step("read", "bucket-read"),
+            step("write", "slot-clear"),
+        ),
+        "CN-side: probe the bucket, clear the matching slot",
+    ),
+}
+
+#: Plan tables by structural family name (see ``IndexFamily.family``).
+PLAN_TABLES: Dict[str, Dict[str, TraversalPlan]] = {
+    "chime": CHIME_PLANS,
+    "chime-learned": CHIME_PLANS,
+    "sherman": SHERMAN_PLANS,
+    "smart": SMART_PLANS,
+    "outback": OUTBACK_PLANS,
+    "flexkv": FLEXKV_PLANS,
+}
+
+
+def family_plans(family: str) -> Dict[str, TraversalPlan]:
+    """The plan table of one structural family ({} when not described)."""
+    return PLAN_TABLES.get(family, {})
+
+
+# ---------------------------------------------------------------------------
+# Placement policies
+# ---------------------------------------------------------------------------
+
+
+class StaticPlacement:
+    """Every partition executes with the same fixed placement."""
+
+    def __init__(self, placement: str) -> None:
+        if placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {placement!r} (known: {PLACEMENTS})"
+            )
+        self.placement = placement
+        self.switches = 0
+
+    def placement_for(self, partition: int) -> str:
+        return self.placement
+
+    def note_hit(self, partition: int) -> None:
+        pass
+
+    def note_miss(self, partition: int, engine=None) -> None:
+        pass
+
+    def table(self) -> Dict[int, str]:
+        return {}
+
+
+class CachePressurePlacement:
+    """Per-partition CN-vs-MN placement driven by routing-cache misses.
+
+    CN-side execution of a partition's plans needs that partition's
+    routing metadata resident in the CN cache; every miss costs an extra
+    directory READ before the operation proper.  When a partition's
+    misses-since-last-switch cross *threshold*, the policy concludes the
+    metadata does not fit under the current cache budget and flips the
+    partition to MN-side offload, emitting a ``placement.switch`` obs
+    event.  A hit streak of *restore_after* flips it back (metadata
+    became resident again, e.g. after competing state was evicted) —
+    disabled by default so constrained-cache runs converge one way.
+    """
+
+    def __init__(
+        self,
+        partitions: int,
+        threshold: int = 4,
+        restore_after: int = 0,
+    ) -> None:
+        self.partitions = partitions
+        self.threshold = threshold
+        self.restore_after = restore_after
+        self.switches = 0
+        self._placement: Dict[int, str] = {}
+        self._misses: Dict[int, int] = {}
+        self._hits: Dict[int, int] = {}
+
+    def placement_for(self, partition: int) -> str:
+        return self._placement.get(partition, PLACEMENT_CN)
+
+    def note_hit(self, partition: int) -> None:
+        self._misses[partition] = 0
+        if self.restore_after and self.placement_for(partition) == PLACEMENT_MN:
+            streak = self._hits.get(partition, 0) + 1
+            if streak >= self.restore_after:
+                self._switch(partition, PLACEMENT_CN, None)
+                streak = 0
+            self._hits[partition] = streak
+
+    def note_miss(self, partition: int, engine=None) -> None:
+        self._hits[partition] = 0
+        if self.placement_for(partition) != PLACEMENT_CN:
+            return
+        misses = self._misses.get(partition, 0) + 1
+        self._misses[partition] = misses
+        if misses >= self.threshold:
+            self._switch(partition, PLACEMENT_MN, engine)
+            self._misses[partition] = 0
+
+    def _switch(self, partition: int, target: str, engine) -> None:
+        source = self.placement_for(partition)
+        self._placement[partition] = target
+        self.switches += 1
+        if BUS.active:
+            BUS.emit(
+                "placement.switch",
+                engine.now if engine is not None else 0.0,
+                partition=partition,
+                source=source,
+                target=target,
+            )
+
+    def table(self) -> Dict[int, str]:
+        """Current non-default placements, partition -> placement."""
+        return dict(sorted(self._placement.items()))
+
+
+# ---------------------------------------------------------------------------
+# The comm executor
+# ---------------------------------------------------------------------------
+
+
+class PlanExecutor:
+    """Runs traversal plans through the existing NIC/fault/obs machinery.
+
+    One executor serves one :class:`~repro.cluster.compute.ClientContext`
+    (lanes share it, like the queue pair).  The CN-side placement binds
+    every verb attribute directly to the queue pair's bound method, so a
+    ported hot path issuing ``yield from self.ops.read(...)`` produces
+    exactly the event sequence the inline ``self.qp.read(...)`` call
+    did — spans, fault injection, leases, and pipelining depth all keep
+    working identically, and the port is golden-verified by the perf
+    suite's event fingerprints.
+
+    The MN-side placement is :meth:`offload`: the whole plan collapses
+    to a single RPC-style verb whose MN-local service time comes from
+    the plan descriptor via an :class:`OffloadCostModel`.
+    """
+
+    def __init__(self, qp, cost_model: Optional[OffloadCostModel] = None) -> None:
+        self.qp = qp
+        self.stats = qp.stats
+        self.cost_model = cost_model or OffloadCostModel()
+        # CN-side placement: verbs are the qp's bound methods themselves.
+        self.read = qp.read
+        self.read_batch = qp.read_batch
+        self.write = qp.write
+        self.write_batch = qp.write_batch
+        self.cas = qp.cas
+        self.masked_cas = qp.masked_cas
+        self.faa = qp.faa
+        self.rpc = qp.rpc
+
+    def offload(self, mn_id: int, request, plan: TraversalPlan) -> Generator:
+        """Execute *plan* MN-side: one RPC verb, plan-derived CPU time.
+
+        *request* must name a handler registered on the target MN (see
+        :meth:`repro.memory.node.MemoryNode.register_rpc`); the handler
+        performs the structure accesses host-side while the RPC verb
+        charges the MN CPU for ``plan.offload_steps`` memory touches.
+        """
+        service_time = self.cost_model.time_for(plan.offload_steps)
+        reply = yield from self.qp.rpc(mn_id, request, service_time=service_time)
+        return reply

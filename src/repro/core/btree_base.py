@@ -22,6 +22,7 @@ from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.compute import ClientContext
+from repro.core.access import family_plans
 from repro.core.adaptive import (
     HANDOFF_CHAIN_LIMIT,
     SYNC_OPTIMISTIC,
@@ -105,6 +106,10 @@ class LeafRef:
 
 class BTreeIndexBase:
     """Host-side state shared by all clients of one tree index."""
+
+    #: Structural family key into :data:`repro.core.access.PLAN_TABLES`;
+    #: subclasses with different traversal plans override it.
+    access_family = "chime"
 
     def __init__(self, cluster: Cluster, span: int, key_size: int = 8) -> None:
         self.cluster = cluster
@@ -200,6 +205,10 @@ class BTreeClientBase:
         self.index = index
         self.ctx = ctx
         self.qp = ctx.qp
+        #: Plan executor: all hot-path verbs go through this so the
+        #: access layer (placement, offload) is swappable per family.
+        self.ops = ctx.ops
+        self.plans = family_plans(index.access_family)
         self.engine = ctx.engine
         self.retry = index.retry_policy
         cluster_cfg = index.cluster.config
@@ -367,7 +376,7 @@ class BTreeClientBase:
         """
         sync = self._sync
         engine = self.engine
-        qp = self.qp
+        qp = self.ops
         cn_id = self.ctx.cn.cn_id
         owner_name = self.ctx.name
         ticket_addr = lock_addr + LOCK_TICKET_OFFSET
@@ -586,17 +595,17 @@ class BTreeClientBase:
         retry = self.retry.start(f"lock {lock_addr:#x}", self.engine,
                                  self.ctx.rng)
         while retry.check():
-            old, swapped = yield from self.qp.masked_cas(
+            old, swapped = yield from self.ops.masked_cas(
                 lock_addr, compare=0, swap=LOCK_BIT,
                 compare_mask=LOCK_BIT, swap_mask=swap_mask)
             if swapped:
                 if self._sync is not None:
                     self._note_optimistic(lock_addr, retry.attempt - 1)
                 if not piggyback:
-                    data = yield from self.qp.read(lock_addr, 8)
+                    data = yield from self.ops.read(lock_addr, 8)
                     return decode_u64(data) & ~LOCK_BIT
                 return old
-            self.qp.stats.retries += 1
+            self.ops.stats.retries += 1
             if BUS.active:
                 BUS.emit("lock.cas_fail", self.engine.now, addr=lock_addr,
                          attempt=retry.attempt - 1)
@@ -619,14 +628,14 @@ class BTreeClientBase:
         retry = self.retry.start(f"lease {lock_addr:#x}", self.engine,
                                  self.ctx.rng)
         while retry.check():
-            line = yield from self.qp.read(lock_addr, LOCK_LEASE_OFFSET + 8)
+            line = yield from self.ops.read(lock_addr, LOCK_LEASE_OFFSET + 8)
             word = decode_u64(line, 0)
             lease = decode_u64(line, LOCK_LEASE_OFFSET)
             owner, epoch, expiry_us = unpack_lease(lease)
             now_us = sim_us(self.engine.now)
             stealing = owner != 0
             if stealing and now_us < expiry_us:
-                self.qp.stats.retries += 1
+                self.ops.stats.retries += 1
                 if BUS.active:
                     BUS.emit("lock.cas_fail", self.engine.now, addr=lock_addr,
                              attempt=retry.attempt - 1)
@@ -635,10 +644,10 @@ class BTreeClientBase:
             new_expiry = lease_expiry_us(self.engine.now,
                                          self._lease_duration)
             new_lease = pack_lease(self._lease_owner, epoch + 1, new_expiry)
-            _old, swapped = yield from self.qp.cas(lease_addr, lease,
+            _old, swapped = yield from self.ops.cas(lease_addr, lease,
                                                    new_lease)
             if not swapped:
-                self.qp.stats.retries += 1
+                self.ops.stats.retries += 1
                 yield from retry.backoff()
                 continue
             self._held_leases[lock_addr] = ((epoch + 1) & 0xFFFFF, new_expiry)
@@ -717,9 +726,9 @@ class BTreeClientBase:
         """Release the remote lock with a standalone write (no batch)."""
         writes = self._unlock_writes(lock_addr, word)
         if len(writes) == 1:
-            yield from self.qp.write(writes[0][0], writes[0][1])
+            yield from self.ops.write(writes[0][0], writes[0][1])
         else:
-            yield from self.qp.write_batch(writes)
+            yield from self.ops.write_batch(writes)
 
     def _restore_unlock(self, lock_addr: int, word: int = 0) -> Generator:
         """Best-effort unlock on an exception path.
@@ -742,15 +751,15 @@ class BTreeClientBase:
             held = self._held_leases.pop(lock_addr, None)
             if held is None or sim_us(self.engine.now) >= held[1]:
                 return
-            yield from self.qp.write_batch([
+            yield from self.ops.write_batch([
                 (lock_addr, encode_u64(word)),
                 (lock_addr + LOCK_LEASE_OFFSET,
                  encode_u64(pack_lease(0, held[0], 0)))] + serving_writes)
         elif serving_writes:
-            yield from self.qp.write_batch(
+            yield from self.ops.write_batch(
                 [(lock_addr, encode_u64(word))] + serving_writes)
         else:
-            yield from self.qp.write(lock_addr, encode_u64(word))
+            yield from self.ops.write(lock_addr, encode_u64(word))
 
     def _release_local(self, lock_addr: int) -> None:
         local = self.ctx.cn.local_lock(lock_addr)
@@ -766,9 +775,9 @@ class BTreeClientBase:
                                  self.ctx.rng)
         while retry.check():
             try:
-                raw = yield from self.qp.read(addr, layout.raw_size)
+                raw = yield from self.ops.read(addr, layout.raw_size)
             except FaultInjectedError:
-                self.qp.stats.retries += 1
+                self.ops.stats.retries += 1
                 yield from retry.backoff()
                 continue
             view = InternalNodeView(layout, StripedSpan(raw, 0))
@@ -777,7 +786,7 @@ class BTreeClientBase:
                 if use_cache_budget:
                     self.ctx.cache.put(addr, parsed, layout.total_size)
                 return parsed
-            self.qp.stats.retries += 1
+            self.ops.stats.retries += 1
             yield from retry.backoff()
 
     def _read_internal_covering(self, addr: int, key: int) -> Generator:
@@ -804,7 +813,7 @@ class BTreeClientBase:
         writes = [(addr, bytes(view.span.data))]
         if unlock:
             writes.extend(self._unlock_writes(addr + layout.lock_offset))
-        yield from self.qp.write_batch(writes)
+        yield from self.ops.write_batch(writes)
         parsed = view.parse(addr)
         self.ctx.cache.put(addr, parsed, layout.total_size)
         return parsed
@@ -922,7 +931,7 @@ class BTreeClientBase:
             parsed.sibling, right_entries, nv=0)
         # New node first (with a free lock line), then the old node whose
         # sibling pointer publishes it, then unlock — one ordered batch.
-        yield from self.qp.write_batch([
+        yield from self.ops.write_batch([
             (new_node_addr, bytes(right_view.span.data)),
             (new_node_addr + layout.lock_offset, encode_u64(0)),
         ])
@@ -945,11 +954,11 @@ class BTreeClientBase:
         entries = [(fence_low, old_root), (split_key, new_addr)]
         view = InternalNodeView.compose(layout, level, fence_low,
                                         MAX_KEY, NULL_ADDR, entries, nv=0)
-        yield from self.qp.write_batch([
+        yield from self.ops.write_batch([
             (root_addr, bytes(view.span.data)),
             (root_addr + layout.lock_offset, encode_u64(0)),
         ])
-        old, swapped = yield from self.qp.cas(self.index.root_ptr_addr,
+        old, swapped = yield from self.ops.cas(self.index.root_ptr_addr,
                                               old_root, root_addr)
         if swapped:
             self.index.root_addr = root_addr

@@ -427,7 +427,7 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
                 result = yield from self._phase("leaf_read",
                                                 self._search_leaf(ref, key))
             except FaultInjectedError:
-                self.qp.stats.retries += 1
+                self.ops.stats.retries += 1
                 continue
             if result.status == _RETRAVERSE:
                 continue
@@ -484,7 +484,7 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
             check_nv_uniform(collect_leaf_nv(view, [record.key_index]))
             check_entry_evs(view, [record.key_index])
         except TornReadError:
-            self.qp.stats.retries += 1  # torn speculation: fall back
+            self.ops.stats.retries += 1  # torn speculation: fall back
             return None
         entry = view.entry(record.key_index)
         if entry.occupied and entry.key == key:
@@ -501,7 +501,7 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
         return None
 
     def _read_indirect(self, block_addr: int, key: int) -> Generator:
-        data = yield from self.qp.read(block_addr, 8 + self.config.value_size)
+        data = yield from self.ops.read(block_addr, 8 + self.config.value_size)
         stored_key = decode_key(data)
         if stored_key != key:
             raise TornReadError(
@@ -521,7 +521,7 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
                     "leaf_write",
                     self._write_entry_op(ref, key, value, delete=False))
             except FaultInjectedError:
-                self.qp.stats.retries += 1
+                self.ops.stats.retries += 1
                 continue
             if result.status == _RETRAVERSE:
                 continue
@@ -537,7 +537,7 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
                     "leaf_write",
                     self._write_entry_op(ref, key, 0, delete=True))
             except FaultInjectedError:
-                self.qp.stats.retries += 1
+                self.ops.stats.retries += 1
                 continue
             if result.status == _RETRAVERSE:
                 continue
@@ -621,7 +621,7 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
             self.hotspots.record_access(leaf_addr, position, key)
         writes.extend(self._unlock_writes(
             guard.lock_addr, guard.release_word(argmax, vacancy)))
-        yield from self.qp.write_batch(writes)
+        yield from self.ops.write_batch(writes)
         return OpResult(_DONE, found=True)
 
     def _locate_entry_locked(self, leaf_addr: int, home: int, key: int,
@@ -671,7 +671,7 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
         size = 8 + self.config.value_size
         block_addr = yield from self._alloc(size)
         data = encode_key(key) + encode_value(value, self.config.value_size)
-        yield from self.qp.write(block_addr, data)
+        yield from self.ops.write(block_addr, data)
         return block_addr
 
     # ---------------------------------------------------------------- insert
@@ -685,7 +685,7 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
                 result = yield from self._phase(
                     "leaf_write", self._insert_leaf(ref, key, value))
             except FaultInjectedError:
-                self.qp.stats.retries += 1
+                self.ops.stats.retries += 1
                 yield from self._sleep_phase("retry_backoff",
                                              retry.next_delay(cap=4))
                 continue
@@ -830,7 +830,7 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
         writes = self._entry_writes(leaf_addr, view, modified)
         writes.extend(self._unlock_writes(
             lock_addr, guard.release_word(argmax, vacancy)))
-        yield from self.qp.write_batch(writes)
+        yield from self.ops.write_batch(writes)
         self.hotspots.record_access(leaf_addr, plan.target, key)
         return OpResult(_DONE, found=True)
 
@@ -855,7 +855,7 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
         writes = self._entry_writes(leaf_addr, view, {position})
         writes.extend(self._unlock_writes(
             guard.lock_addr, guard.release_word(argmax, vacancy)))
-        yield from self.qp.write_batch(writes)
+        yield from self.ops.write_batch(writes)
         return OpResult(_DONE, found=True)
 
     def _insert_read(self, leaf_addr: int, home: int, last: int,
@@ -875,7 +875,7 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
             requests.append((leaf_addr + raw_off, raw_len))
         fence_addr = leaf_addr + layout.lock_offset + LOCKLINE_FENCE_LOW
         requests.append((fence_addr, LOCKLINE_FENCES_LEN))
-        payloads = yield from self.qp.read_batch(requests)
+        payloads = yield from self.ops.read_batch(requests)
         spans = []
         for (off, length), data in zip(segments, payloads[:-1]):
             raw_off, _raw_len = raw_span(off, length)
@@ -1037,7 +1037,7 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
                                                     fence_low=pivot,
                                                     fence_high=fence_high,
                                                     nv=0)
-        yield from self.qp.write_batch([
+        yield from self.ops.write_batch([
             (new_addr, bytes(right_view.span.data)),
             (new_addr + layout.lock_offset,
              encode_u64(right_word) + encode_key(pivot)
@@ -1058,7 +1058,7 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
         unlock[0] = (lock_addr, encode_u64(left_word) + encode_key(fence_low)
                      + encode_key(pivot))
         guard.held = False  # the batched lock-line write below releases it
-        yield from self.qp.write_batch(
+        yield from self.ops.write_batch(
             [(leaf_addr, bytes(left_view.span.data))] + unlock)
         for pos in range(layout.span):
             self.hotspots.invalidate(leaf_addr, pos)
@@ -1104,7 +1104,7 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
             try:
                 result = yield from self._scan_once(key, count)
             except FaultInjectedError:
-                self.qp.stats.retries += 1
+                self.ops.stats.retries += 1
                 yield from retry.backoff()
                 continue
             return result
@@ -1157,7 +1157,7 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
         """Parallel full-leaf READs with per-leaf consistency retries."""
         layout = self.layout
         requests = [(addr, layout.raw_size) for addr in addrs]
-        payloads = yield from self.qp.read_batch(requests)
+        payloads = yield from self.ops.read_batch(requests)
         views: List[LeafNodeView] = []
         for addr, data in zip(addrs, payloads):
             view = LeafNodeView(layout, StripedSpan(data, 0))
@@ -1169,9 +1169,9 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
                     check_nv_uniform(nv_values)
                     break
                 except TornReadError:
-                    self.qp.stats.retries += 1
+                    self.ops.stats.retries += 1
                     yield from retry.backoff()
-                    data = yield from self.qp.read(addr, layout.raw_size)
+                    data = yield from self.ops.read(addr, layout.raw_size)
                     view = LeafNodeView(layout, StripedSpan(data, 0))
             views.append(view)
         return views
@@ -1223,7 +1223,7 @@ class ChimeClient(BTreeClientBase, HopscotchLeafOpsMixin,
         writes = self._entry_writes(leaf_addr, view, modified) if modified \
             else []
         writes.append((leaf_addr + layout.lock_offset, encode_u64(word)))
-        yield from self.qp.write_batch(writes)
+        yield from self.ops.write_batch(writes)
         for pos in range(layout.span):
             self.hotspots.invalidate(leaf_addr, pos)
         if BUS.active:

@@ -3,8 +3,9 @@
 Both CHIME (B+-tree routing) and CHIME-Learned (model routing, §5.3) read
 and validate hopscotch leaf nodes the same way; this mixin hosts that
 logic.  Users must provide ``self.layout`` (a
-:class:`~repro.core.node_layout.LeafLayout`), ``self.qp``, ``self.engine``
-and ``self.home_of(key)``.
+:class:`~repro.core.node_layout.LeafLayout`), ``self.ops`` (a
+:class:`~repro.core.access.PlanExecutor`), ``self.engine`` and
+``self.home_of(key)``.
 """
 
 from __future__ import annotations
@@ -37,10 +38,10 @@ class HopscotchLeafOpsMixin:
             raw_offs.append(raw_off)
             requests.append((leaf_addr + raw_off, raw_len))
         if len(requests) == 1:
-            data = yield from self.qp.read(*requests[0])
+            data = yield from self.ops.read(*requests[0])
             span = StripedSpan(data, base=raw_offs[0])
             return LeafNodeView(self.layout, span)
-        payloads = yield from self.qp.read_batch(requests)
+        payloads = yield from self.ops.read_batch(requests)
         spans = [StripedSpan(data, base=raw_off)
                  for raw_off, data in zip(raw_offs, payloads)]
         return LeafNodeView(self.layout, SpanSet(spans))
@@ -90,7 +91,7 @@ class HopscotchLeafOpsMixin:
                 check_hopscotch_bitmap(view, home, self.home_of)
                 return view
             except (TornReadError, FaultInjectedError):
-                self.qp.stats.retries += 1
+                self.ops.stats.retries += 1
                 yield from retry.backoff()
 
     def _find_in_neighborhood(self, view: LeafNodeView, home: int,

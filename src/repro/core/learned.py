@@ -25,6 +25,7 @@ from repro.baselines.pla import PlaModel
 from repro.cluster.cluster import Cluster
 from repro.cluster.compute import ClientContext
 from repro.core.chime import LockGuard
+from repro.core.access import family_plans
 from repro.core.leaf_ops import HopscotchLeafOpsMixin
 from repro.core.node_layout import (
     LeafLayout,
@@ -188,6 +189,8 @@ class LearnedChimeClient(HopscotchLeafOpsMixin):
         self.index = index
         self.ctx = ctx
         self.qp = ctx.qp
+        self.ops = ctx.ops
+        self.plans = family_plans("chime-learned")
         self.engine = ctx.engine
         self.layout = index.leaf_layout
         self.home_of = index.home_of
@@ -310,7 +313,7 @@ class LearnedChimeClient(HopscotchLeafOpsMixin):
                 return result
             except BaseException:
                 if guard.held:
-                    yield from self.qp.write(lock_addr,
+                    yield from self.ops.write(lock_addr,
                                              encode_u64(guard.release_word()))
                 raise
         finally:
@@ -319,12 +322,12 @@ class LearnedChimeClient(HopscotchLeafOpsMixin):
 
     def _acquire_remote(self, lock_addr: int) -> Generator:
         for attempt in range(MAX_RETRIES):
-            old, swapped = yield from self.qp.masked_cas(
+            old, swapped = yield from self.ops.masked_cas(
                 lock_addr, compare=0, swap=1, compare_mask=1,
                 swap_mask=0xFFFFFFFFFFFFFFFF)
             if swapped:
                 return old
-            self.qp.stats.retries += 1
+            self.ops.stats.retries += 1
             yield self.engine.timeout(backoff_delay(attempt))
         raise IndexError_("leaf lock not acquired")
 
@@ -356,7 +359,7 @@ class LearnedChimeClient(HopscotchLeafOpsMixin):
             tail_addr, tail_view = chain_addr, view
             chain_addr = view.replica_sibling(block)
         if delete or not upsert:
-            yield from self.qp.write(guard.lock_addr,
+            yield from self.ops.write(guard.lock_addr,
                                      encode_u64(guard.release_word()))
             return False
         target = spacious if spacious is not None else None
@@ -393,7 +396,7 @@ class LearnedChimeClient(HopscotchLeafOpsMixin):
             raw_off, raw_bytes = view.span.sub_span(off, layout.entry_size)
             writes.append((leaf_addr + raw_off, raw_bytes))
         writes.append((guard.lock_addr, encode_u64(guard.release_word())))
-        yield from self.qp.write_batch(writes)
+        yield from self.ops.write_batch(writes)
         return True
 
     def _hop_insert(self, guard: LockGuard, base_addr: int, leaf_addr: int,
@@ -441,7 +444,7 @@ class LearnedChimeClient(HopscotchLeafOpsMixin):
             raw_off, raw_bytes = view.span.sub_span(off, layout.entry_size)
             writes.append((leaf_addr + raw_off, raw_bytes))
         writes.append((guard.lock_addr, encode_u64(guard.release_word())))
-        yield from self.qp.write_batch(writes)
+        yield from self.ops.write_batch(writes)
         return True
 
     def _append_synonym(self, guard: LockGuard, base_addr: int,
@@ -458,7 +461,7 @@ class LearnedChimeClient(HopscotchLeafOpsMixin):
         occupied[home] = True
         word = pack_lock_word(False, home,
                               self.index.vacancy_map.compose(occupied))
-        yield from self.qp.write_batch([
+        yield from self.ops.write_batch([
             (new_addr, bytes(table_view.span.data)),
             (new_addr + layout.lock_offset,
              encode_u64(word) + encode_key(low) + encode_key(high)),
@@ -480,7 +483,7 @@ class LearnedChimeClient(HopscotchLeafOpsMixin):
                                     bitmap=entry.bitmap, bump_ev=False)
             elif entry.bitmap:
                 rebuilt.set_entry_bitmap(pos, entry.bitmap, bump_ev=False)
-        yield from self.qp.write_batch([
+        yield from self.ops.write_batch([
             (tail_addr, bytes(rebuilt.span.data)),
             (guard.lock_addr, encode_u64(guard.release_word())),
         ])

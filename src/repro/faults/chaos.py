@@ -1,7 +1,9 @@
 """The chaos harness: seeded fault campaigns against a live CHIME tree.
 
-:func:`run_chaos` builds a small cluster, bulk-loads a CHIME index,
-installs a :class:`~repro.faults.plan.FaultPlan` derived from a
+:func:`run_chaos` builds a small cluster, bulk-loads the configured
+index family (CHIME by default; any registry family with
+``supports_chaos``), installs a
+:class:`~repro.faults.plan.FaultPlan` derived from a
 :class:`ChaosConfig` (by default: crash one client's CN between its
 lock-acquiring CAS and the unlocking WRITE), drives a mixed workload
 from every client, and then verifies the tree with
@@ -29,13 +31,13 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
-from repro.config import ChimeConfig, ClusterConfig
-from repro.core import ChimeIndex
+from repro.config import ClusterConfig
 from repro.core.node_layout import sim_us
-from repro.errors import ReproError
+from repro.errors import ReproError, WorkloadError
 from repro.faults.invariants import InvariantReport, check_index_invariants
 from repro.faults.plan import FaultPlan
 from repro.obs import recording
+from repro.registry import build_index, get_family
 from repro.retry import DEFAULT_RETRY_POLICY
 from repro.sched import LaneContext, resolve_depth, stranded_tickets
 from repro.workloads.ycsb import dataset
@@ -48,6 +50,12 @@ class ChaosConfig:
     """One chaos campaign, fully determined by its fields."""
 
     seed: int = 7
+    #: Registry legend name of the index under test.  Any family with
+    #: ``supports_chaos`` runs: the tree families get the full lock /
+    #: lease / fence audit, hash-structured KV families (outback,
+    #: flexkv) the generic committed-key audit (see
+    #: :func:`~repro.faults.invariants.check_index_invariants`).
+    index: str = "chime"
     num_cns: int = 2
     num_mns: int = 1
     clients_per_cn: int = 3
@@ -266,18 +274,20 @@ def run_chaos(cfg: ChaosConfig, drive=None) -> ChaosResult:
     depth = resolve_depth(cfg.pipeline_depth)
     retry = DEFAULT_RETRY_POLICY.scaled(max_attempts=cfg.max_attempts,
                                         deadline=cfg.deadline)
+    family = get_family(cfg.index)
+    if not family.supports_chaos:
+        raise WorkloadError(
+            f"index family {cfg.index!r} does not support the chaos "
+            f"harness (supports_chaos=False)")
     with recording() as rec:
         cluster = Cluster(cluster_config)
-        if cluster.shard_map is not None:
-            from repro.core.sharded import ShardedIndex
-            from repro.registry import get_family
-
-            index = ShardedIndex(cluster, get_family("chime"),
-                                 span=cfg.span,
-                                 chime_overrides={"retry": retry})
-        else:
-            index = ChimeIndex(cluster,
-                               ChimeConfig(span=cfg.span, retry=retry))
+        # Registry construction: the chime path builds the exact
+        # ChimeConfig the historical inline dispatch built (sharded
+        # clusters route through ShardedIndex identically), so existing
+        # campaigns stay byte-identical; non-tree families simply ignore
+        # the span/retry knobs their factories don't take.
+        index = build_index(cfg.index, cluster, span=cfg.span,
+                            chime_overrides={"retry": retry})
         pairs = dataset(cfg.initial_keys, key_space=cfg.key_space, seed=1)
         index.bulk_load(pairs)
         injector = cluster.install_faults(build_plan(cfg))

@@ -36,7 +36,7 @@ from repro.layout import MAX_KEY, StripedSpan, decode_key, decode_u64
 from repro.memory import NULL_ADDR
 
 __all__ = ["InvariantReport", "check_index_invariants",
-           "check_tree_invariants"]
+           "check_kv_invariants", "check_tree_invariants"]
 
 #: Lock-line offsets of the leaf fence keys (mirrors repro.core.chime).
 _FENCE_LOW_OFF = 8
@@ -212,6 +212,39 @@ def check_tree_invariants(index,
     return report
 
 
+def check_kv_invariants(index,
+                        expected_keys: Optional[Iterable[int]] = None,
+                        dead_cns: Iterable[int] = ()
+                        ) -> InvariantReport:
+    """Verify a hash-structured KV index (Outback / FlexKV) host-side.
+
+    These families have no tree structure — no fences, locks, or
+    hopscotch bitmaps to audit — so the check reduces to the data
+    invariants any placement must uphold: the host-side item scan
+    (``collect_items``) yields each key at most once, and every key the
+    workload knows to be committed is present.  *dead_cns* is accepted
+    for signature parity with the tree checker but unused: these
+    families hold no remote locks a crashed CN could orphan.
+    """
+    del dead_cns
+    report = InvariantReport()
+    present: Dict[int, int] = {}
+    for key, value in index.collect_items():
+        report.keys += 1
+        if key in present:
+            report.violations.append(
+                f"key {key} stored in more than one slot")
+        present[key] = value
+    if expected_keys is not None:
+        missing = sorted(k for k in expected_keys if k not in present)
+        for key in missing[:10]:
+            report.violations.append(f"committed key {key} is unreadable")
+        if len(missing) > 10:
+            report.violations.append(
+                f"... and {len(missing) - 10} more committed keys missing")
+    return report
+
+
 def check_index_invariants(index,
                            expected_keys: Optional[Iterable[int]] = None,
                            dead_cns: Iterable[int] = ()
@@ -224,7 +257,14 @@ def check_index_invariants(index,
     :func:`check_tree_invariants` against the expected keys routed to
     its shard, and the per-shard findings are merged with a
     ``shard N:`` prefix.  A plain index passes straight through.
+
+    Hash-structured KV families (no ``internal_layout``) route to
+    :func:`check_kv_invariants` instead.
     """
+    if (not hasattr(index, "internal_layout")
+            and hasattr(index, "collect_items")):
+        return check_kv_invariants(index, expected_keys=expected_keys,
+                                   dead_cns=dead_cns)
     shards = getattr(index, "shards", None)
     if shards is None:
         return check_tree_invariants(index, expected_keys=expected_keys,

@@ -16,6 +16,7 @@ from repro.hashing.loadfactor import (
     figure_3d_schemes,
     measure_max_load_factor,
 )
+from repro.hashing.mph import MinimalPerfectHash
 from repro.hashing.race import RaceTable
 
 __all__ = [
@@ -24,6 +25,7 @@ __all__ = [
     "HopPlan",
     "HopscotchTable",
     "LoadFactorResult",
+    "MinimalPerfectHash",
     "RaceTable",
     "default_hash",
     "distance",

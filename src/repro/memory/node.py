@@ -36,17 +36,35 @@ class MemoryNode:
         # A memory node has ~1 weak core: RPCs serialize on it.
         self.cpu = QueueServer(engine, slots=1, name=f"mn{mn_id}.cpu")
         self.rpc_service_time = RPC_SERVICE_TIME
+        #: Extra RPC kinds installed by MN-offloading index families:
+        #: kind -> handler(request) (see :meth:`register_rpc`).
+        self.rpc_handlers = {}
+
+    def register_rpc(self, kind: str, handler) -> None:
+        """Install *handler* for RPCs whose ``request[0] == kind``.
+
+        MN-offloading families (FlexKV placement, Outback overflow
+        inserts) register their handlers here at index-build time; the
+        handler runs host-side against this node's region while the verb
+        layer charges the MN CPU for the plan-derived service time.
+        """
+        self.rpc_handlers[kind] = handler
 
     def handle_rpc(self, request):
         """Serve one RPC synchronously (the caller charges CPU time).
 
-        Supported requests:
+        Built-in requests:
 
         * ``("alloc_chunk", size)`` → global address of a fresh chunk
+
+        plus anything installed via :meth:`register_rpc`.
         """
         kind = request[0]
         if kind == "alloc_chunk":
             return self.allocator.alloc(request[1])
+        handler = self.rpc_handlers.get(kind)
+        if handler is not None:
+            return handler(request)
         raise SimulationError(f"unknown RPC {kind!r} at MN {self.mn_id}")
 
     # -- convenience accessors used by the verb layer ------------------------

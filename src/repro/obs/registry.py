@@ -201,6 +201,9 @@ class MetricsCollector:
         elif kind == "sync.mode_switch":
             registry.counter(kind).inc()
             registry.counter(f"{kind}.{data['direction']}").inc()
+        elif kind == "placement.switch":
+            registry.counter(kind).inc()
+            registry.counter(f"{kind}.{data['source']}_to_{data['target']}").inc()
         elif kind == "queue.enqueue":
             registry.counter(kind).inc()
             registry.histogram("queue.depth", _QUEUE_BUCKETS).observe(

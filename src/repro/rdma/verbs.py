@@ -322,8 +322,15 @@ class RdmaQp:
 
     # ------------------------------------------------------------------- RPC
 
-    def rpc(self, mn_id: int, request) -> Generator:
-        """Two-sided RPC to a memory node's weak CPU (allocation only)."""
+    def rpc(self, mn_id: int, request, service_time: Optional[float] = None,
+            ) -> Generator:
+        """Two-sided RPC to a memory node's weak CPU.
+
+        *service_time* overrides the MN's fixed per-request cost —
+        offloaded traversal plans pass their plan-derived cost here so an
+        MN-side index walk charges the weak core proportionally to the
+        structure accesses it performs.
+        """
         if self.injector is not None:
             yield from self.injector.before_verb(self, "rpc", 0, mn_id=mn_id)
         self.stats.rtts += 1
@@ -338,7 +345,8 @@ class RdmaQp:
             yield self._cn_nic.send(RPC_REQUEST_BYTES)
         yield self.engine.timeout(mn.nic.spec.latency)
         yield mn.nic.receive(RPC_REQUEST_BYTES)
-        yield mn.cpu.request(mn.rpc_service_time)
+        yield mn.cpu.request(
+            mn.rpc_service_time if service_time is None else service_time)
         reply = mn.handle_rpc(request)
         yield mn.nic.send(RPC_RESPONSE_BYTES)
         yield self.engine.timeout(mn.nic.spec.latency)

@@ -74,6 +74,20 @@ class IndexFamily:
     #: (families built on the shared B-link-tree machinery support the
     #: CIDER-style pessimistic queue and the per-leaf adaptive switch).
     sync_modes: Tuple[str, ...] = ("optimistic",)
+    #: Point lookups reach the value in one READ on the fast path
+    #: (Outback-style hash routing; incompatible with range scans).
+    one_rtt_point: bool = False
+    #: Operations can execute MN-side as a single RPC against the MN CPU
+    #: (FlexKV-style offload; see ``PlanExecutor.offload``).
+    mn_offload: bool = False
+    #: A placement policy may move partitions between CN-side and
+    #: MN-side execution at runtime (emits ``placement.switch`` events).
+    dynamic_placement: bool = False
+    #: Where the family's traversal plans execute by default: ``"cn"``
+    #: (CN-side traversal over one-sided verbs), ``"mn"`` (offloaded to
+    #: the MN CPU), or ``"hash"`` (CN-local hash routing, then one
+    #: READ/WRITE).  See :data:`repro.core.access.PLACEMENTS`.
+    default_placement: str = "cn"
 
 
 _REGISTRY: Dict[str, IndexFamily] = {}
@@ -126,9 +140,10 @@ def build_index(name: str, cluster,
     if getattr(cluster, "shard_map", None) is not None:
         if not family.shardable and cluster.shard_map.num_shards > 1:
             raise WorkloadError(
-                f"index family {name!r} is model-routed and cannot be "
-                f"key-range sharded "
+                f"index family {name!r} cannot be key-range sharded "
                 f"(num_shards={cluster.shard_map.num_shards}); "
+                f"model-routed families train one global model and "
+                f"hash-routed families stripe slots across MNs natively; "
                 f"run it with num_shards <= 1")
         from repro.core.sharded import ShardedIndex
 
@@ -204,6 +219,18 @@ def _learned_factory(cluster, *, value_size, span, neighborhood, overrides):
                              value_size=value_size)
 
 
+def _outback_factory(cluster, *, value_size, span, neighborhood, overrides):
+    from repro.baselines.outback import OutbackConfig, OutbackIndex
+
+    return OutbackIndex(cluster, OutbackConfig(value_size=value_size))
+
+
+def _flexkv_factory(cluster, *, value_size, span, neighborhood, overrides):
+    from repro.baselines.flexkv import FlexKVConfig, FlexKVIndex
+
+    return FlexKVIndex(cluster, FlexKVConfig(value_size=value_size))
+
+
 # --------------------------------------------------------------------------
 # The built-in families (every legend entry of the paper's figures)
 # --------------------------------------------------------------------------
@@ -257,3 +284,13 @@ register(IndexFamily(
     factory=_learned_factory,
     description="CHIME leaves under a learned (PLA) internal structure",
     supports_scan=False, model_routed=True, shardable=False))
+register(IndexFamily(
+    name="outback", family="outback", factory=_outback_factory,
+    description="Outback-style MPH routing: one-RTT point lookups",
+    kv_discrete=True, supports_scan=False, supports_chaos=True,
+    shardable=False, one_rtt_point=True, default_placement="hash"))
+register(IndexFamily(
+    name="flexkv", family="flexkv", factory=_flexkv_factory,
+    description="FlexKV-style partitioned KV, dynamic CN/MN placement",
+    kv_discrete=True, supports_scan=False, supports_chaos=True,
+    shardable=False, mn_offload=True, dynamic_placement=True))

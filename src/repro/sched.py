@@ -59,6 +59,7 @@ __all__ = [
     "execute_op",
     "launch_clients",
     "parked_by_cn",
+    "placement_table",
     "resolve_depth",
     "shared_stream",
     "stranded_tickets",
@@ -307,3 +308,19 @@ def stranded_tickets(index, dead_cns=()) -> List[Dict[str, int]]:
     if state is None:
         return []
     return state.stranded(tuple(dead_cns))
+
+
+def placement_table(index) -> Dict[int, str]:
+    """Partitions a placement policy moved off their default (diagnostics).
+
+    Dynamic-placement indexes (FlexKV) expose ``placement``; the table
+    maps partition id to its current placement for every partition the
+    policy has switched, so runs can report where execution ended up
+    (e.g. which partitions went MN-side under cache pressure).  Empty
+    for indexes without a placement policy or with everything still at
+    the default.
+    """
+    policy = getattr(index, "placement", None)
+    if policy is None:
+        return {}
+    return dict(policy.table())

@@ -82,6 +82,9 @@ def build_point_spec(plan: CampaignPlan, cell: CellSpec, seed: int) -> PointSpec
         chime_overrides=plan.cell_overrides(cell),
         key_space=scale.key_space,
         depth=cell.depth,
+        # Always pinned (never None) so a stored campaign point can
+        # never depend on the ambient REPRO_PLACEMENT knob.
+        placement=cell.placement,
     )
 
 

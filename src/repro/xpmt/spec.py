@@ -62,6 +62,10 @@ RESOLVED_ENV = frozenset(
         "REPRO_NUM_MNS",
         "REPRO_SHARDS",
         "REPRO_CACHE_MODE",
+        # Cells pin placement too (payload field when non-default); the
+        # runner exports the pinned value around each point, so the
+        # ambient knob never reaches a campaign point.
+        "REPRO_PLACEMENT",
     }
 )
 
@@ -118,6 +122,9 @@ class CellSpec:
     num_mns: int = 1
     #: CN cache admission under sharding ("shared" or "partitioned").
     cache_mode: str = "shared"
+    #: Index placement mode ("cn", "mn", or "auto"); only placement-
+    #: aware families (flexkv) read it, via ``REPRO_PLACEMENT``.
+    placement: str = "auto"
 
     def label(self) -> str:
         """Compact human label used by reports and status tables."""
@@ -136,6 +143,8 @@ class CellSpec:
             text += f" m{self.num_mns}"
         if self.cache_mode != "shared":
             text += f" {self.cache_mode}"
+        if self.placement != "auto":
+            text += f" p:{self.placement}"
         return text
 
 
@@ -156,6 +165,8 @@ def _cell_payload(cell: CellSpec) -> Dict:
         del payload["num_mns"]
     if payload.get("cache_mode") == "shared":
         del payload["cache_mode"]
+    if payload.get("placement") == "auto":
+        del payload["placement"]
     return payload
 
 

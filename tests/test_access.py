@@ -1,0 +1,459 @@
+"""Tests for the layered access path (:mod:`repro.core.access`).
+
+Covers the three layers the refactor introduced — traversal plans,
+placement policies, the plan executor — plus the registry capability
+flags that describe them, the MPH routing structure Outback builds on,
+and the functional contract of the two landed families (Outback,
+FlexKV) including the CAS endianness regression.
+"""
+
+import os
+
+import pytest
+
+from repro import registry
+from repro.baselines.flexkv import (
+    FlexKVConfig,
+    FlexKVIndex,
+    PLACEMENT_ENV,
+    resolve_placement,
+)
+from repro.baselines.outback import OutbackIndex
+from repro.cluster import Cluster
+from repro.config import ClusterConfig, KNOWN_ENV_VARS, unknown_env_vars
+from repro.core.access import (
+    PLACEMENT_CN,
+    PLACEMENT_HASH,
+    PLACEMENT_MN,
+    PLACEMENTS,
+    PLAN_TABLES,
+    AccessStep,
+    CachePressurePlacement,
+    StaticPlacement,
+    TraversalPlan,
+    family_plans,
+    step,
+)
+from repro.errors import SimulationError
+from repro.faults.invariants import check_index_invariants
+from repro.hashing.mph import MinimalPerfectHash
+
+
+def make_cluster(**overrides):
+    defaults = dict(num_cns=1, num_mns=1, clients_per_cn=4,
+                    cache_bytes=1 << 24, region_bytes=1 << 25)
+    defaults.update(overrides)
+    return Cluster(ClusterConfig(**defaults))
+
+
+def drive(cluster, *generators):
+    results = [None] * len(generators)
+
+    def wrap(i, gen):
+        def runner():
+            results[i] = yield from gen
+        return runner()
+
+    for i, gen in enumerate(generators):
+        cluster.engine.process(wrap(i, gen))
+    cluster.run()
+    return results
+
+
+PAIRS = [(k, k * 10) for k in range(1, 1001)]
+
+
+# ---------------------------------------------------------------------------
+# Layer 1: traversal plans
+# ---------------------------------------------------------------------------
+
+
+class TestTraversalPlans:
+    def test_unknown_verb_rejected(self):
+        with pytest.raises(ValueError):
+            AccessStep("teleport", "wishful-thinking")
+
+    def test_min_rtts_excludes_local_and_optional(self):
+        plan = TraversalPlan("t", (
+            step("local", "route"),
+            step("read", "payload"),
+            step("read", "chase", optional=True),
+        ))
+        assert plan.min_rtts == 1
+        assert plan.verbs == ("local", "read", "read")
+
+    def test_offload_steps_excludes_only_local(self):
+        plan = TraversalPlan("t", (
+            step("local", "route"),
+            step("read", "payload"),
+            step("read", "chase", optional=True),
+        ))
+        assert plan.offload_steps == 2
+
+    def test_every_table_describes_the_point_ops(self):
+        for family, table in PLAN_TABLES.items():
+            for kind in ("search", "insert", "update"):
+                assert kind in table, (family, kind)
+                assert table[kind].steps, (family, kind)
+
+    def test_family_plans_unknown_family_is_empty(self):
+        assert family_plans("btree-9000") == {}
+
+    def test_outback_search_is_one_rtt(self):
+        assert family_plans("outback")["search"].min_rtts == 1
+
+
+# ---------------------------------------------------------------------------
+# Layer 2: placement policies
+# ---------------------------------------------------------------------------
+
+
+class TestStaticPlacement:
+    def test_rejects_unknown_placement(self):
+        with pytest.raises(ValueError):
+            StaticPlacement("gpu")
+
+    def test_fixed_for_every_partition(self):
+        policy = StaticPlacement(PLACEMENT_MN)
+        assert policy.placement_for(0) == PLACEMENT_MN
+        assert policy.placement_for(17) == PLACEMENT_MN
+        policy.note_miss(0)
+        policy.note_miss(0)
+        assert policy.switches == 0
+        assert policy.table() == {}
+
+
+class TestCachePressurePlacement:
+    def test_defaults_to_cn(self):
+        policy = CachePressurePlacement(4, threshold=3)
+        assert policy.placement_for(2) == PLACEMENT_CN
+
+    def test_flips_after_threshold_consecutive_misses(self):
+        policy = CachePressurePlacement(4, threshold=3)
+        for _ in range(2):
+            policy.note_miss(1)
+        assert policy.placement_for(1) == PLACEMENT_CN
+        policy.note_miss(1)
+        assert policy.placement_for(1) == PLACEMENT_MN
+        assert policy.switches == 1
+        assert policy.table() == {1: PLACEMENT_MN}
+
+    def test_hit_resets_the_miss_streak(self):
+        policy = CachePressurePlacement(4, threshold=3)
+        policy.note_miss(0)
+        policy.note_miss(0)
+        policy.note_hit(0)
+        policy.note_miss(0)
+        policy.note_miss(0)
+        assert policy.placement_for(0) == PLACEMENT_CN
+        assert policy.switches == 0
+
+    def test_misses_are_per_partition(self):
+        policy = CachePressurePlacement(4, threshold=2)
+        policy.note_miss(0)
+        policy.note_miss(1)
+        assert policy.switches == 0
+        policy.note_miss(0)
+        assert policy.placement_for(0) == PLACEMENT_MN
+        assert policy.placement_for(1) == PLACEMENT_CN
+
+    def test_restore_after_hit_streak(self):
+        policy = CachePressurePlacement(2, threshold=1, restore_after=2)
+        policy.note_miss(0)
+        assert policy.placement_for(0) == PLACEMENT_MN
+        policy.note_hit(0)
+        policy.note_hit(0)
+        assert policy.placement_for(0) == PLACEMENT_CN
+        assert policy.switches == 2
+
+
+# ---------------------------------------------------------------------------
+# Registry capability flags (parametrized consistency contract)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("family", registry.families(),
+                         ids=registry.family_names())
+class TestCapabilityFlagConsistency:
+    """Every registered family's flags must describe a coherent design."""
+
+    def test_factory_present(self, family):
+        assert family.factory is not None
+
+    def test_default_placement_is_known(self, family):
+        assert family.default_placement in PLACEMENTS
+
+    def test_one_rtt_point_excludes_scans(self, family):
+        # A one-RTT hash-routed point lookup has no ordered structure
+        # to range-scan over.
+        if family.one_rtt_point:
+            assert not family.supports_scan, family.name
+
+    def test_one_rtt_point_is_hash_routed(self, family):
+        if family.one_rtt_point:
+            assert family.default_placement == PLACEMENT_HASH, family.name
+
+    def test_dynamic_placement_requires_offload(self, family):
+        # A placement policy can only flip CN->MN if the family has an
+        # MN-side execution path to flip to.
+        if family.dynamic_placement:
+            assert family.mn_offload, family.name
+
+    def test_model_routed_families_are_not_shardable(self, family):
+        if family.model_routed:
+            assert not family.shardable, family.name
+
+    def test_one_rtt_claim_matches_plan_table(self, family):
+        # The descriptor cannot lie: a family advertising one-RTT point
+        # lookups must publish a search plan whose fast path is 1 RTT.
+        plans = family_plans(family.family)
+        if family.one_rtt_point and "search" in plans:
+            assert plans["search"].min_rtts == 1, family.name
+
+
+# ---------------------------------------------------------------------------
+# Minimal perfect hashing (Outback's routing structure)
+# ---------------------------------------------------------------------------
+
+
+class TestMinimalPerfectHash:
+    def test_bijection_over_construction_keys(self):
+        keys = list(range(1, 3001))
+        mph = MinimalPerfectHash(keys, seed=5)
+        slots = {mph.slot_of(k) for k in keys}
+        assert slots == set(range(len(keys)))
+        mph.check_perfect(keys)
+
+    def test_deterministic_in_keys_and_seed(self):
+        keys = [k * 7 for k in range(1, 500)]
+        a = MinimalPerfectHash(keys, seed=3)
+        b = MinimalPerfectHash(keys, seed=3)
+        assert [a.slot_of(k) for k in keys] == [b.slot_of(k) for k in keys]
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(SimulationError):
+            MinimalPerfectHash([1, 2, 2])
+
+    def test_empty_key_set(self):
+        mph = MinimalPerfectHash([])
+        assert len(mph) == 0
+
+    def test_tight_tables_still_build(self):
+        # Small keys_per_bucket makes many 1-key tail buckets; the
+        # direct-slot fallback and seed retry must keep construction
+        # deterministic and total across sizes.
+        for n in (100, 1000, 10_000):
+            keys = list(range(1, n + 1))
+            mph = MinimalPerfectHash(keys, seed=0)
+            mph.check_perfect(keys)
+
+    def test_routing_bytes_tracks_buckets(self):
+        mph = MinimalPerfectHash(list(range(1, 401)), keys_per_bucket=4)
+        assert mph.routing_bytes == 2 * mph.num_buckets
+
+
+# ---------------------------------------------------------------------------
+# The landed families: functional contract + invariants
+# ---------------------------------------------------------------------------
+
+
+def build_kv(index_cls, cluster, **kwargs):
+    index = index_cls(cluster, **kwargs)
+    index.bulk_load(PAIRS)
+    return index
+
+
+@pytest.mark.parametrize("index_cls", [OutbackIndex, FlexKVIndex],
+                         ids=["outback", "flexkv"])
+class TestKvFamilies:
+    def test_bulk_load_roundtrip(self, index_cls):
+        cluster = make_cluster()
+        index = build_kv(index_cls, cluster)
+        assert index.collect_items() == PAIRS
+
+    def test_point_ops(self, index_cls):
+        cluster = make_cluster()
+        index = build_kv(index_cls, cluster)
+        client = index.client(cluster.cns[0].clients[0])
+        out = {}
+
+        def gen():
+            out["hit"] = yield from client.search(400)
+            out["miss"] = yield from client.search(899_999)
+            yield from client.insert(900_001, 11)
+            out["ins"] = yield from client.search(900_001)
+            yield from client.update(400, 99)
+            out["upd"] = yield from client.search(400)
+
+        drive(cluster, gen())
+        assert out == {"hit": 4000, "miss": None, "ins": 11, "upd": 99}
+
+    def test_concurrent_disjoint_inserts(self, index_cls):
+        # 120 new keys stays within outback's 4-slot overflow buckets at
+        # the default 0.5 headroom (overflow has no probe chain).
+        cluster = make_cluster(num_cns=2, clients_per_cn=4)
+        index = build_kv(index_cls, cluster)
+        clients = [index.client(ctx) for ctx in cluster.clients()]
+        keys = list(range(900_000, 900_120))
+        per = len(keys) // len(clients)
+
+        def worker(client, chunk):
+            for key in chunk:
+                yield from client.insert(key, key + 1)
+
+        drive(cluster, *[worker(c, keys[i * per:(i + 1) * per])
+                         for i, c in enumerate(clients)])
+        items = dict(index.collect_items())
+        for key in keys:
+            assert items[key] == key + 1
+
+    def test_kv_invariants_dispatch(self, index_cls):
+        # No internal_layout -> the KV checker runs (no duplicate slots,
+        # all committed keys present).
+        cluster = make_cluster()
+        index = build_kv(index_cls, cluster)
+        report = check_index_invariants(
+            index, expected_keys=[k for k, _ in PAIRS])
+        assert report.ok, report.violations
+        assert report.keys == len(PAIRS)
+
+
+class TestFlexKvEndianness:
+    def test_cn_insert_stores_big_endian_key(self):
+        # Regression: the slot-claim CAS operates on little-endian u64
+        # words while keys are stored big-endian; CASing the raw key int
+        # used to plant a byte-swapped key that search could never find
+        # and collect_items reported as garbage.
+        cluster = make_cluster()
+        index = build_kv(FlexKVIndex, cluster)
+        client = index.client(cluster.cns[0].clients[0])
+        out = {}
+
+        def gen():
+            yield from client.insert(611, 42)
+            out["read_back"] = yield from client.search(611)
+
+        drive(cluster, gen())
+        assert out["read_back"] == 42
+        items = dict(index.collect_items())
+        assert items[611] == 42
+        swapped = int.from_bytes((611).to_bytes(8, "big"), "little")
+        assert swapped not in items
+
+
+class TestFlexKvPlacement:
+    def test_static_mn_placement_uses_rpc_only(self):
+        os.environ[PLACEMENT_ENV] = "mn"
+        try:
+            cluster = make_cluster()
+            index = build_kv(FlexKVIndex, cluster)
+        finally:
+            del os.environ[PLACEMENT_ENV]
+        client = index.client(cluster.cns[0].clients[0])
+        out = {}
+
+        def gen():
+            out["hit"] = yield from client.search(123)
+            yield from client.insert(900_100, 9)
+            out["ins"] = yield from client.search(900_100)
+
+        drive(cluster, gen())
+        assert out == {"hit": 1230, "ins": 9}
+        stats = cluster.cns[0].clients[0].qp.stats
+        assert stats.rpcs == 3
+        assert stats.reads == 0
+
+    def test_constrained_cache_flips_partitions(self):
+        # A CN cache far below the directory footprint must drive the
+        # pressure policy to MN-side execution.
+        footprint = FlexKVIndex.directory_bytes(len(PAIRS), 1)
+        cluster = make_cluster(cache_bytes=max(1024, footprint // 10),
+                               clients_per_cn=4)
+        index = build_kv(FlexKVIndex, cluster)
+        clients = [index.client(ctx) for ctx in cluster.clients()]
+
+        def worker(client, offset):
+            for i in range(100):
+                yield from client.search(1 + (i * 13 + offset) % 1000)
+
+        drive(cluster, *[worker(c, i * 37) for i, c in enumerate(clients)])
+        assert index.placement_switches >= 1
+
+    def test_resolve_placement_validates(self):
+        assert resolve_placement("CN") == "cn"
+        assert resolve_placement(None) == "auto"
+        with pytest.raises(SimulationError):
+            resolve_placement("gpu")
+
+    def test_directory_bytes_matches_bulk_load(self):
+        cluster = make_cluster()
+        index = build_kv(FlexKVIndex, cluster)
+        expected = FlexKVIndex.directory_bytes(len(PAIRS), 1, index.config)
+        assert index.meta_bytes * index.partitions == expected
+
+
+class TestOutbackRouting:
+    def test_search_is_single_read(self):
+        cluster = make_cluster()
+        index = build_kv(OutbackIndex, cluster)
+        ctx = cluster.cns[0].clients[0]
+        client = index.client(ctx)
+        before = ctx.qp.stats.reads
+
+        def gen():
+            return (yield from client.search(500))
+
+        value, = drive(cluster, gen())
+        assert value == 5000
+        assert ctx.qp.stats.reads == before + 1
+
+
+# ---------------------------------------------------------------------------
+# Environment-variable registry (CLI startup validation)
+# ---------------------------------------------------------------------------
+
+
+class TestKnownEnvVars:
+    def test_importable_constants_are_registered(self):
+        from repro.bench.parallel import JOBS_ENV
+        from repro.bench.scale import (
+            CACHE_MODE_ENV,
+            NUM_MNS_ENV,
+            SHARDS_ENV,
+        )
+
+        for name in (JOBS_ENV, CACHE_MODE_ENV, NUM_MNS_ENV, SHARDS_ENV,
+                     PLACEMENT_ENV):
+            assert name in KNOWN_ENV_VARS, name
+
+    def test_unknown_env_vars_flags_typos_only(self):
+        environ = {
+            "REPRO_PLACEMENT": "mn",
+            "REPRO_DETPH": "4",
+            "PATH": "/usr/bin",
+            "REPRO_BOGUS": "x",
+        }
+        assert unknown_env_vars(environ) == ["REPRO_BOGUS", "REPRO_DETPH"]
+
+    def test_all_known_names_have_repro_prefix(self):
+        assert all(name.startswith("REPRO_") for name in KNOWN_ENV_VARS)
+
+
+# ---------------------------------------------------------------------------
+# Campaign spec: placement pinning keeps old hashes stable
+# ---------------------------------------------------------------------------
+
+
+class TestCellSpecPlacement:
+    def test_default_placement_leaves_hash_unchanged(self):
+        from repro.xpmt.spec import _cell_payload, CellSpec
+
+        payload = _cell_payload(CellSpec("flexkv", "C", 8))
+        assert "placement" not in payload
+
+    def test_non_default_placement_rekeys_and_labels(self):
+        from repro.xpmt.spec import _cell_payload, CellSpec
+
+        cell = CellSpec("flexkv", "C", 8, placement="mn")
+        assert _cell_payload(cell)["placement"] == "mn"
+        assert "p:mn" in cell.label()

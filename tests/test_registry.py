@@ -3,7 +3,14 @@
 import pytest
 
 from repro import registry
-from repro.baselines import MarlinIndex, RolexIndex, ShermanIndex, SmartIndex
+from repro.baselines import (
+    FlexKVIndex,
+    MarlinIndex,
+    OutbackIndex,
+    RolexIndex,
+    ShermanIndex,
+    SmartIndex,
+)
 from repro.cluster import Cluster
 from repro.config import ClusterConfig
 from repro.core import ChimeIndex
@@ -22,6 +29,8 @@ EXPECTED_CLASSES = {
     "rolex": RolexIndex,
     "rolex-indirect": RolexIndex,
     "chime-learned": LearnedChimeIndex,
+    "outback": OutbackIndex,
+    "flexkv": FlexKVIndex,
 }
 
 
@@ -50,11 +59,12 @@ class TestRegistryTable:
 
     def test_kv_discrete_names(self):
         assert set(registry.kv_discrete_names()) == {
-            "smart", "smart-opt", "smart-rcu"}
+            "smart", "smart-opt", "smart-rcu", "outback", "flexkv"}
 
     def test_runner_kv_discrete_backcompat(self):
         from repro.bench.runner import KV_DISCRETE
-        assert KV_DISCRETE == {"smart", "smart-opt", "smart-rcu"}
+        assert KV_DISCRETE == {
+            "smart", "smart-opt", "smart-rcu", "outback", "flexkv"}
 
 
 class TestCapabilityFlags:
